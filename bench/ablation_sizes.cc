@@ -1,0 +1,113 @@
+/**
+ * @file
+ * §4 sensitivity studies and the DESIGN.md ablations:
+ *  - Short file size (2 / 8 / 32 entries; paper picks 8),
+ *  - Long file size (40 / 48 / 56 / 112; paper picks 48, noting FP
+ *    wants 56 and 40 costs 0.6% IPC),
+ *  - Short allocation policy (address-only vs any-result; the paper
+ *    reports any-result thrashes),
+ *  - direct-mapped vs fully-associative Short file,
+ *  - issue-stall threshold (pseudo-deadlock avoidance) and the extra
+ *    bypass level.
+ */
+
+#include "bench_util.hh"
+
+using namespace carf;
+
+namespace
+{
+
+void
+reportRow(Table &table, const std::string &label,
+          const core::CoreParams &params, const sim::SuiteRun &base_int,
+          const sim::SuiteRun &base_fp, const bench::BenchArgs &args)
+{
+    auto run_int =
+        sim::runSuite(workloads::intSuite(), params, args.options);
+    auto run_fp =
+        sim::runSuite(workloads::fpSuite(), params, args.options);
+    table.addRow({label,
+                  Table::pct(sim::meanRelativeIpc(run_int, base_int), 2),
+                  Table::pct(sim::meanRelativeIpc(run_fp, base_fp), 2),
+                  Table::intNum(static_cast<long long>(
+                      run_int.totalLongAllocStalls() +
+                      run_fp.totalLongAllocStalls())),
+                  Table::intNum(static_cast<long long>(
+                      run_int.totalRecoveries() +
+                      run_fp.totalRecoveries())),
+                  Table::num(run_int.meanAvgLiveLong(), 1)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::BenchArgs::parse(argc, argv);
+    bench::printHeader(
+        "Ablations: sub-file sizing and design choices (d+n=20)",
+        "paper picks M=8, K=48; address-only Short allocation; "
+        "direct-mapped Short; threshold = issue width");
+
+    auto base_int = sim::runSuite(workloads::intSuite(),
+                                  core::CoreParams::baseline(),
+                                  args.options);
+    auto base_fp = sim::runSuite(workloads::fpSuite(),
+                                 core::CoreParams::baseline(),
+                                 args.options);
+
+    Table table("relative IPC vs baseline, long-file pressure");
+    table.setColumns({"variant", "INT", "FP", "long stalls",
+                      "recoveries", "avg live long"});
+
+    // Short file size sweep (n = log2 M). d is adjusted to keep
+    // d+n=20 so the Simple field width is constant.
+    for (unsigned n : {1u, 3u, 5u}) {
+        auto params = core::CoreParams::contentAware(20, n);
+        reportRow(table, strprintf("short M=%u", 1u << n), params,
+                  base_int, base_fp, args);
+    }
+
+    // Long file size sweep.
+    for (unsigned k : {40u, 48u, 56u, 112u}) {
+        auto params = core::CoreParams::contentAware(20, 3, k);
+        reportRow(table, strprintf("long K=%u", k), params, base_int,
+                  base_fp, args);
+    }
+
+    // Allocation policy: any-result thrashes the Short file.
+    {
+        auto params = core::CoreParams::contentAware(20);
+        params.ca.allocShortOnAnyResult = true;
+        reportRow(table, "alloc-on-any-result", params, base_int,
+                  base_fp, args);
+    }
+
+    // Fully-associative Short file (paper: tiny IPC gain, CAM cost).
+    {
+        auto params = core::CoreParams::contentAware(20);
+        params.ca.associativeShort = true;
+        reportRow(table, "associative short", params, base_int, base_fp,
+                  args);
+    }
+
+    // Issue-stall threshold off: recoveries must absorb the pressure.
+    {
+        auto params = core::CoreParams::contentAware(20);
+        params.ca.issueStallThreshold = 0;
+        reportRow(table, "stall threshold=0", params, base_int, base_fp,
+                  args);
+    }
+
+    // Extra bypass level off (paper: optional, small effect).
+    {
+        auto params = core::CoreParams::contentAware(20);
+        params.extraBypassLevel = false;
+        reportRow(table, "no extra bypass", params, base_int, base_fp,
+                  args);
+    }
+
+    bench::printTable(table, args);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses in bench/.
+ *
+ * Every harness accepts "key=value" overrides; the universal keys are
+ *   insts=N   dynamic instruction budget per workload (default 500k)
+ *   csv=1     additionally print tables as CSV
+ */
+
+#ifndef CARF_BENCH_BENCH_UTIL_HH
+#define CARF_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/experiments.hh"
+#include "sim/reporting.hh"
+
+namespace carf::bench
+{
+
+/** The paper's d+n sweep (Figures 5-7, Table 3). */
+inline const std::vector<unsigned> kDnSweep = {8, 12, 16, 20, 24, 28, 32};
+
+struct BenchArgs
+{
+    Config config;
+    sim::SimOptions options;
+    bool csv = false;
+
+    static BenchArgs
+    parse(int argc, char **argv)
+    {
+        BenchArgs args;
+        args.config.parseArgs(argc, argv);
+        args.options.maxInsts = args.config.getU64("insts", 500000);
+        args.csv = args.config.getBool("csv", false);
+        return args;
+    }
+};
+
+inline void
+printTable(const Table &table, const BenchArgs &args)
+{
+    std::fputs(table.render().c_str(), stdout);
+    if (args.csv)
+        std::fputs(table.renderCsv().c_str(), stdout);
+    std::fputs("\n", stdout);
+}
+
+inline void
+printHeader(const char *experiment, const char *paper_claim)
+{
+    std::printf("### %s\n", experiment);
+    std::printf("paper: %s\n\n", paper_claim);
+}
+
+} // namespace carf::bench
+
+#endif // CARF_BENCH_BENCH_UTIL_HH

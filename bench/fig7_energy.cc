@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 7: total register file energy (reads + writes) relative to
+ * the unlimited-resource file, as a function of d+n, against the
+ * baseline.
+ *
+ * The paper reports the baseline at ~48.8% of unlimited and the
+ * content-aware organization at roughly half the baseline again
+ * (~25% of unlimited at the chosen d+n=20).
+ */
+
+#include "bench_util.hh"
+#include "energy/report.hh"
+
+using namespace carf;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::BenchArgs::parse(argc, argv);
+    bench::printHeader(
+        "Figure 7: relative register file energy vs d+n",
+        "baseline ~48.8% of unlimited; content-aware ~half of baseline");
+
+    energy::RixnerModel model;
+    auto unlimited_geom = energy::unlimitedGeometry();
+    auto baseline_geom = energy::baselineGeometry();
+
+    for (auto [title, suite] :
+         {std::pair{"Fig 7 INT suite", &workloads::intSuite()},
+          std::pair{"Fig 7 FP suite", &workloads::fpSuite()}}) {
+        // Reference energies use the unlimited run's access counts.
+        auto unlimited_run = sim::runSuite(
+            *suite, core::CoreParams::unlimited(), args.options);
+        double unlimited_energy = energy::conventionalEnergy(
+            model, unlimited_geom, unlimited_run.totalAccesses());
+
+        auto baseline_run = sim::runSuite(
+            *suite, core::CoreParams::baseline(), args.options);
+        double baseline_energy = energy::conventionalEnergy(
+            model, baseline_geom, baseline_run.totalAccesses());
+
+        Table table(title);
+        table.setColumns({"config", "energy vs unlimited",
+                          "energy vs baseline"});
+        table.addRow({"baseline",
+                      Table::pct(baseline_energy / unlimited_energy),
+                      Table::pct(1.0)});
+
+        for (unsigned dn : bench::kDnSweep) {
+            auto params = core::CoreParams::contentAware(dn);
+            auto run = sim::runSuite(*suite, params, args.options);
+            auto geom =
+                energy::caGeometry(params.physIntRegs, params.ca);
+            double ca_energy = energy::contentAwareEnergy(
+                model, geom, run.totalAccesses(),
+                run.totalShortWrites());
+            table.addRow({strprintf("d+n=%u", dn),
+                          Table::pct(ca_energy / unlimited_energy),
+                          Table::pct(ca_energy / baseline_energy)});
+        }
+        bench::printTable(table, args);
+    }
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the register file models and
+ * the value classifier — measures the *simulator's* own speed (useful
+ * when scaling runs toward the paper's 300M-instruction windows).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "regfile/baseline.hh"
+#include "regfile/content_aware.hh"
+#include "sim/simulator.hh"
+
+using namespace carf;
+
+namespace
+{
+
+void
+BM_ClassifyValue(benchmark::State &state)
+{
+    regfile::SimilarityParams sim{17, 3};
+    regfile::ShortFile short_file(sim);
+    Rng rng(1);
+    for (int i = 0; i < 6; ++i)
+        short_file.tryAllocate(rng.next());
+    std::vector<u64> values(1024);
+    for (auto &v : values)
+        v = rng.next() >> rng.nextBounded(48);
+    size_t i = 0;
+    for (auto _ : state) {
+        unsigned idx;
+        benchmark::DoNotOptimize(
+            regfile::classifyValue(values[i++ & 1023], sim, short_file,
+                                   idx));
+    }
+}
+BENCHMARK(BM_ClassifyValue);
+
+void
+BM_BaselineWriteReadRelease(benchmark::State &state)
+{
+    regfile::BaselineRegFile rf("bench", 112);
+    Rng rng(2);
+    u32 tag = 40;
+    for (auto _ : state) {
+        rf.write(tag, rng.next());
+        benchmark::DoNotOptimize(rf.read(tag));
+        rf.release(tag);
+    }
+}
+BENCHMARK(BM_BaselineWriteReadRelease);
+
+void
+BM_ContentAwareWriteReadRelease(benchmark::State &state)
+{
+    regfile::ContentAwareParams params;
+    params.sim = {17, 3};
+    regfile::ContentAwareRegFile rf("bench", 112, params);
+    Rng rng(3);
+    u32 tag = 40;
+    for (auto _ : state) {
+        // Mix of simple / short-able / long values.
+        u64 v = rng.next() >> (rng.nextBounded(3) * 24);
+        rf.noteAddress(v);
+        rf.write(tag, v);
+        benchmark::DoNotOptimize(rf.read(tag));
+        rf.release(tag);
+    }
+}
+BENCHMARK(BM_ContentAwareWriteReadRelease);
+
+void
+BM_PipelineThroughput(benchmark::State &state)
+{
+    // End-to-end simulated instructions per second on one kernel.
+    for (auto _ : state) {
+        sim::SimOptions options;
+        options.maxInsts = 50000;
+        auto result =
+            sim::simulate(workloads::findWorkload("counters"),
+                          core::CoreParams::contentAware(), options);
+        benchmark::DoNotOptimize(result.cycles);
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<i64>(result.committedInsts));
+    }
+}
+BENCHMARK(BM_PipelineThroughput)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

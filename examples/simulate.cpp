@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Full-surface simulator driver: any workload, any register file
+ * organization, every option — the binary a downstream user scripts
+ * against.
+ *
+ * Usage examples:
+ *   simulate workload=pointer_chase config=ca insts=1000000
+ *   simulate workload=crc config=baseline ff=500000 insts=500000
+ *   simulate workload=graph_walk config=ca dplusn=24 k=56 oracle=16
+ *   simulate workload=daxpy record=/tmp/daxpy.carftrc insts=200000
+ *   simulate replay=/tmp/daxpy.carftrc config=ca
+ *   simulate workload=counters smt_with=crc config=ca
+ *   simulate list=1                  # list available workloads
+ */
+
+#include <cstdio>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "core/smt.hh"
+#include "emu/trace_file.hh"
+#include "energy/report.hh"
+#include "sim/reporting.hh"
+#include "sim/simulator.hh"
+
+using namespace carf;
+
+namespace
+{
+
+core::CoreParams
+paramsFromConfig(const Config &config)
+{
+    std::string kind = config.getString("config", "baseline");
+    core::CoreParams params;
+    if (kind == "unlimited") {
+        params = core::CoreParams::unlimited();
+    } else if (kind == "baseline") {
+        params = core::CoreParams::baseline();
+    } else if (kind == "ca" || kind == "content-aware") {
+        params = core::CoreParams::contentAware(
+            static_cast<unsigned>(config.getU64("dplusn", 20)),
+            static_cast<unsigned>(config.getU64("n", 3)),
+            static_cast<unsigned>(config.getU64("k", 48)));
+        params.ca.associativeShort =
+            config.getBool("assoc_short", false);
+        params.ca.allocShortOnAnyResult =
+            config.getBool("alloc_any", false);
+        params.ca.issueStallThreshold = static_cast<unsigned>(
+            config.getU64("stall_threshold", params.issueWidth));
+        params.extraBypassLevel =
+            config.getBool("extra_bypass", true);
+    } else {
+        fatal("unknown config '%s' (unlimited|baseline|ca)",
+              kind.c_str());
+    }
+    params.physIntRegs = static_cast<unsigned>(
+        config.getU64("int_regs", params.physIntRegs));
+    params.intRfReadPorts = static_cast<unsigned>(
+        config.getU64("read_ports", params.intRfReadPorts));
+    params.intRfWritePorts = static_cast<unsigned>(
+        config.getU64("write_ports", params.intRfWritePorts));
+    return params;
+}
+
+void
+printResult(const core::RunResult &result,
+            const core::CoreParams &params)
+{
+    std::printf("%s\n", sim::summarizeRun(result).c_str());
+    const auto &counts = result.intRfAccesses;
+    if (counts.totalWrites() == 0) {
+        // SMT threads share one file; the counts ride on thread 0.
+        return;
+    }
+    std::printf("  int RF reads  %llu (simple %llu, short %llu, "
+                "long %llu)\n",
+                (unsigned long long)counts.totalReads(),
+                (unsigned long long)counts.reads[0],
+                (unsigned long long)counts.reads[1],
+                (unsigned long long)counts.reads[2]);
+    std::printf("  int RF writes %llu (simple %llu, short %llu, "
+                "long %llu)\n",
+                (unsigned long long)counts.totalWrites(),
+                (unsigned long long)counts.writes[0],
+                (unsigned long long)counts.writes[1],
+                (unsigned long long)counts.writes[2]);
+    if (params.regFileKind == core::RegFileKind::ContentAware) {
+        std::printf("  long stalls %llu, recoveries %llu, avg live "
+                    "long %.1f, avg live short %.1f\n",
+                    (unsigned long long)result.longAllocStalls,
+                    (unsigned long long)result.recoveries,
+                    result.avgLiveLong, result.avgLiveShort);
+        energy::RixnerModel model;
+        auto geom = energy::caGeometry(params.physIntRegs, params.ca);
+        double ca_energy = energy::contentAwareEnergy(
+            model, geom, counts, result.shortFileWrites);
+        double base_energy = energy::conventionalEnergy(
+            model, energy::baselineGeometry(), counts);
+        std::printf("  RF energy vs same-traffic baseline file: "
+                    "%.1f%%\n", 100.0 * ca_energy / base_energy);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config config;
+    config.parseArgs(argc, argv);
+
+    if (config.getBool("list", false)) {
+        std::printf("workloads:\n");
+        for (const auto &w : workloads::allWorkloads()) {
+            std::printf("  %-16s (%s)\n", w.name.c_str(),
+                        w.suite == workloads::Suite::Int ? "int"
+                                                         : "fp");
+        }
+        return 0;
+    }
+
+    core::CoreParams params = paramsFromConfig(config);
+    std::printf("config: %s\n", sim::describeConfig(params).c_str());
+
+    sim::SimOptions options;
+    options.maxInsts = config.getU64("insts", 1000000);
+    options.fastForward = config.getU64("ff", 0);
+    options.oracleSamplePeriod =
+        static_cast<unsigned>(config.getU64("oracle", 0));
+
+    // Record mode: emulate and write a trace file, no timing.
+    if (config.has("record")) {
+        const auto &workload =
+            workloads::findWorkload(config.getString("workload"));
+        auto source = workloads::makeTrace(workload, options.maxInsts);
+        u64 written = emu::TraceWriter::record(
+            *source, config.getString("record"));
+        std::printf("recorded %llu instructions of %s to %s\n",
+                    (unsigned long long)written,
+                    workload.name.c_str(),
+                    config.getString("record").c_str());
+        return 0;
+    }
+
+    // Replay mode: time a previously recorded trace.
+    if (config.has("replay")) {
+        emu::TraceReader reader(config.getString("replay"), "",
+                                options.maxInsts);
+        core::Pipeline pipeline(params);
+        auto result = pipeline.run(reader);
+        printResult(result, params);
+        return 0;
+    }
+
+    const auto &workload =
+        workloads::findWorkload(config.getString("workload",
+                                                 "counters"));
+
+    // SMT mode: co-run a second workload on a shared core.
+    if (config.has("smt_with")) {
+        const auto &other =
+            workloads::findWorkload(config.getString("smt_with"));
+        auto ta = workloads::makeTrace(workload, options.maxInsts);
+        auto tb = workloads::makeTrace(other, options.maxInsts);
+        core::SmtPipeline smt(params, 2);
+        auto result = smt.run({ta.get(), tb.get()});
+        std::printf("SMT (%llu shared cycles, aggregate IPC %.3f):\n",
+                    (unsigned long long)result.cycles,
+                    result.totalIpc());
+        for (const auto &t : result.threads)
+            printResult(t, params);
+        return 0;
+    }
+
+    // Plain single-thread run, optionally with the value oracle.
+    sim::LiveValueOracle oracle;
+    bool use_oracle = options.oracleSamplePeriod > 0;
+    auto result = sim::simulate(workload, params, options,
+                                use_oracle ? &oracle : nullptr);
+    printResult(result, params);
+
+    if (use_oracle) {
+        std::printf("  live values: %.1f regs/cycle; exact group-1 "
+                    "%.1f%%; d=16 group-1 %.1f%%\n",
+                    oracle.avgLiveRegs(),
+                    100.0 * oracle.exactGroups().fraction(0),
+                    100.0 * oracle.similarityGroups(2).fraction(0));
+    }
+    return 0;
+}

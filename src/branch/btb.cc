@@ -1,0 +1,36 @@
+#include "branch/btb.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace carf::branch
+{
+
+Btb::Btb(size_t entries)
+{
+    if (!isPowerOf2(entries))
+        fatal("BTB entries must be a power of two (got %zu)", entries);
+    entriesMask_ = entries - 1;
+    table_.resize(entries);
+}
+
+bool
+Btb::lookup(u64 pc, u64 &target) const
+{
+    const Entry &e = table_[pc & entriesMask_];
+    if (!e.valid || e.tag != pc)
+        return false;
+    target = e.target;
+    return true;
+}
+
+void
+Btb::update(u64 pc, u64 target)
+{
+    Entry &e = table_[pc & entriesMask_];
+    e.valid = true;
+    e.tag = pc;
+    e.target = target;
+}
+
+} // namespace carf::branch

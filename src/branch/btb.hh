@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Branch target buffer: direct-mapped pc -> target cache with tags.
+ */
+
+#ifndef CARF_BRANCH_BTB_HH
+#define CARF_BRANCH_BTB_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace carf::branch
+{
+
+/** Direct-mapped BTB. A miss means the front end cannot redirect. */
+class Btb
+{
+  public:
+    explicit Btb(size_t entries = 2048);
+
+    /**
+     * Look up the predicted target for the branch at @p pc.
+     * @param target filled with the cached target on a hit
+     * @retval true on a tag hit
+     */
+    bool lookup(u64 pc, u64 &target) const;
+
+    /** Install/refresh the target for @p pc. */
+    void update(u64 pc, u64 target);
+
+    size_t entries() const { return entriesMask_ + 1; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        u64 tag = 0;
+        u64 target = 0;
+    };
+
+    size_t entriesMask_;
+    std::vector<Entry> table_;
+};
+
+} // namespace carf::branch
+
+#endif // CARF_BRANCH_BTB_HH

@@ -1,0 +1,43 @@
+#include "branch/gshare.hh"
+
+#include <cassert>
+
+namespace carf::branch
+{
+
+Gshare::Gshare(unsigned history_bits)
+    : historyBits_(history_bits),
+      pht_(size_t{1} << history_bits, 1) // weakly not-taken
+{
+    assert(history_bits >= 1 && history_bits <= 24);
+}
+
+size_t
+Gshare::index(u64 pc) const
+{
+    u64 m = (u64{1} << historyBits_) - 1;
+    return static_cast<size_t>((pc ^ history_) & m);
+}
+
+bool
+Gshare::predict(u64 pc) const
+{
+    return pht_[index(pc)] >= 2;
+}
+
+void
+Gshare::update(u64 pc, bool taken)
+{
+    u8 &ctr = pht_[index(pc)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+    u64 m = (u64{1} << historyBits_) - 1;
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & m;
+}
+
+} // namespace carf::branch

@@ -1,0 +1,33 @@
+#include "branch/ras.hh"
+
+#include <cassert>
+
+namespace carf::branch
+{
+
+Ras::Ras(size_t depth) : stack_(depth)
+{
+    assert(depth >= 1);
+}
+
+void
+Ras::push(u64 return_pc)
+{
+    top_ = (top_ + 1) % stack_.size();
+    stack_[top_] = return_pc;
+    if (count_ < stack_.size())
+        ++count_;
+}
+
+bool
+Ras::pop(u64 &return_pc)
+{
+    if (count_ == 0)
+        return false;
+    return_pc = stack_[top_];
+    top_ = (top_ + stack_.size() - 1) % stack_.size();
+    --count_;
+    return true;
+}
+
+} // namespace carf::branch

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Return address stack used for JALR return prediction.
+ */
+
+#ifndef CARF_BRANCH_RAS_HH
+#define CARF_BRANCH_RAS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace carf::branch
+{
+
+/** Circular return address stack. Overflow wraps (oldest lost). */
+class Ras
+{
+  public:
+    explicit Ras(size_t depth = 16);
+
+    void push(u64 return_pc);
+
+    /**
+     * Pop the predicted return address.
+     * @retval false when the stack is empty (no prediction).
+     */
+    bool pop(u64 &return_pc);
+
+    bool empty() const { return count_ == 0; }
+    size_t depth() const { return stack_.size(); }
+
+  private:
+    std::vector<u64> stack_;
+    size_t top_ = 0;
+    size_t count_ = 0;
+};
+
+} // namespace carf::branch
+
+#endif // CARF_BRANCH_RAS_HH

@@ -1,0 +1,34 @@
+#include "common/bitutil.hh"
+
+#include <bit>
+
+namespace carf
+{
+
+bool
+fitsSigned(u64 value, unsigned width)
+{
+    assert(width >= 1 && width <= 64);
+    if (width == 64)
+        return true;
+    i64 as_signed = static_cast<i64>(value);
+    i64 shifted = as_signed >> (width - 1);
+    return shifted == 0 || shifted == -1;
+}
+
+unsigned
+log2Ceil(u64 value)
+{
+    assert(value >= 1);
+    if (value == 1)
+        return 0;
+    return 64 - std::countl_zero(value - 1);
+}
+
+unsigned
+popCount(u64 value)
+{
+    return static_cast<unsigned>(std::popcount(value));
+}
+
+} // namespace carf

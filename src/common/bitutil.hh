@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the value classifier, the
+ * content-aware register file, and the energy model.
+ */
+
+#ifndef CARF_COMMON_BITUTIL_HH
+#define CARF_COMMON_BITUTIL_HH
+
+#include <cassert>
+
+#include "common/types.hh"
+
+namespace carf
+{
+
+/**
+ * Extract bits [lo, lo+len) of value, right-justified.
+ *
+ * @param value source word
+ * @param lo index of the least significant extracted bit (0..63)
+ * @param len number of bits to extract (1..64)
+ */
+inline u64
+bits(u64 value, unsigned lo, unsigned len)
+{
+    assert(lo < 64 && len >= 1 && len <= 64 && lo + len <= 64);
+    u64 shifted = value >> lo;
+    if (len == 64)
+        return shifted;
+    return shifted & ((u64{1} << len) - 1);
+}
+
+/** Mask with bits [lo, lo+len) set. */
+inline u64
+mask(unsigned lo, unsigned len)
+{
+    assert(lo < 64 && len >= 1 && lo + len <= 64);
+    if (len == 64)
+        return ~u64{0} << lo;
+    return ((u64{1} << len) - 1) << lo;
+}
+
+/**
+ * Sign-extend the low @p width bits of @p value to a full 64-bit word.
+ */
+inline u64
+signExtend(u64 value, unsigned width)
+{
+    assert(width >= 1 && width <= 64);
+    if (width == 64)
+        return value;
+    u64 sign_bit = u64{1} << (width - 1);
+    u64 low = value & ((u64{1} << width) - 1);
+    return (low ^ sign_bit) - sign_bit;
+}
+
+/**
+ * True when @p value is representable as a sign-extended @p width-bit
+ * integer, i.e.\ its high (64-width) bits are all zero or all one and
+ * equal to the sign bit of the low field.
+ */
+bool fitsSigned(u64 value, unsigned width);
+
+/** Ceiling of log2; log2Ceil(1) == 0. */
+unsigned log2Ceil(u64 value);
+
+/** True when value is a power of two (and nonzero). */
+inline bool
+isPowerOf2(u64 value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Number of set bits. */
+unsigned popCount(u64 value);
+
+/**
+ * High-order field shared by a (64-d)-similarity group: the top 64-d
+ * bits of the value. Two values are (64-d)-similar iff these match.
+ */
+inline u64
+similarityTag(u64 value, unsigned d)
+{
+    assert(d >= 1 && d < 64);
+    return value >> d;
+}
+
+} // namespace carf
+
+#endif // CARF_COMMON_BITUTIL_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal gem5-style logging: panic() for internal invariant
+ * violations, fatal() for user/configuration errors, warn() and
+ * inform() for status output.
+ */
+
+#ifndef CARF_COMMON_LOGGING_HH
+#define CARF_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace carf
+{
+
+/** Verbosity of inform()/warn() output; 0 silences both. */
+void setLogVerbosity(int level);
+int logVerbosity();
+
+/** Abort with a formatted message: an internal simulator bug. */
+[[noreturn]] void panic(const char *fmt, ...);
+
+/** Exit(1) with a formatted message: a user/configuration error. */
+[[noreturn]] void fatal(const char *fmt, ...);
+
+/** Non-fatal suspicious condition. */
+void warn(const char *fmt, ...);
+
+/** Status message. */
+void inform(const char *fmt, ...);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...);
+
+} // namespace carf
+
+#endif // CARF_COMMON_LOGGING_HH

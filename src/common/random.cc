@@ -1,0 +1,117 @@
+#include "common/random.hh"
+
+#include <cassert>
+
+#include "common/logging.hh"
+
+namespace carf
+{
+
+namespace
+{
+
+u64
+splitmix64(u64 &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    u64 z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+inline u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(u64 seed)
+{
+    u64 sm = seed;
+    for (auto &s : state_)
+        s = splitmix64(sm);
+}
+
+u64
+Rng::next()
+{
+    u64 result = rotl(state_[1] * 5, 7) * 9;
+    u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+u64
+Rng::nextBounded(u64 bound)
+{
+    assert(bound > 0);
+    // Rejection sampling to remove modulo bias.
+    u64 threshold = (~bound + 1) % bound; // = 2^64 mod bound
+    for (;;) {
+        u64 r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+i64
+Rng::nextRange(i64 lo, i64 hi)
+{
+    assert(lo <= hi);
+    u64 span = static_cast<u64>(hi) - static_cast<u64>(lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<i64>(next());
+    return lo + static_cast<i64>(nextBounded(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    return nextDouble() < p;
+}
+
+size_t
+Rng::pickWeighted(const std::vector<double> &weights)
+{
+    assert(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) {
+        assert(w >= 0.0);
+        total += w;
+    }
+    if (total <= 0.0)
+        panic("pickWeighted: all weights zero");
+    double r = nextDouble() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (r < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+unsigned
+Rng::geometric(double p, unsigned cap)
+{
+    unsigned n = 0;
+    while (n < cap && chance(p))
+        ++n;
+    return n;
+}
+
+} // namespace carf

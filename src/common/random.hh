@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**) used by
+ * the synthetic workload generator and the property tests.
+ *
+ * A dedicated generator (instead of <random>) keeps workload streams
+ * reproducible across standard library implementations.
+ */
+
+#ifndef CARF_COMMON_RANDOM_HH
+#define CARF_COMMON_RANDOM_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace carf
+{
+
+/** xoshiro256** PRNG with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull);
+
+    /** Uniform 64-bit word. */
+    u64 next();
+
+    /** Uniform integer in [0, bound) via rejection sampling. */
+    u64 nextBounded(u64 bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    i64 nextRange(i64 lo, i64 hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+    /**
+     * Draw an index according to the (unnormalised) weights; used to
+     * sample value/operation classes from calibrated distributions.
+     */
+    size_t pickWeighted(const std::vector<double> &weights);
+
+    /** Geometric-ish small integer: number of trailing successes. */
+    unsigned geometric(double p, unsigned cap);
+
+  private:
+    u64 state_[4];
+};
+
+} // namespace carf
+
+#endif // CARF_COMMON_RANDOM_HH

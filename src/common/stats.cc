@@ -1,0 +1,114 @@
+#include "common/stats.hh"
+
+#include <memory>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace carf::stats
+{
+
+void
+Distribution::sample(size_t bucket, u64 n)
+{
+    if (buckets_.empty())
+        panic("Distribution::sample on unsized distribution");
+    if (bucket >= buckets_.size())
+        bucket = buckets_.size() - 1;
+    buckets_[bucket] += n;
+}
+
+void
+Distribution::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+}
+
+u64
+Distribution::total() const
+{
+    u64 t = 0;
+    for (u64 b : buckets_)
+        t += b;
+    return t;
+}
+
+double
+Distribution::fraction(size_t i) const
+{
+    u64 t = total();
+    return t ? static_cast<double>(buckets_.at(i)) / t : 0.0;
+}
+
+Counter &
+StatGroup::addCounter(const std::string &name, const std::string &desc)
+{
+    if (counterIndex_.count(name))
+        panic("duplicate counter %s.%s", name_.c_str(), name.c_str());
+    counters_.push_back(
+        std::make_unique<NamedCounter>(NamedCounter{name, desc, {}}));
+    counterIndex_[name] = counters_.back().get();
+    return counters_.back()->counter;
+}
+
+Average &
+StatGroup::addAverage(const std::string &name, const std::string &desc)
+{
+    if (averageIndex_.count(name))
+        panic("duplicate average %s.%s", name_.c_str(), name.c_str());
+    averages_.push_back(
+        std::make_unique<NamedAverage>(NamedAverage{name, desc, {}}));
+    averageIndex_[name] = averages_.back().get();
+    return averages_.back()->average;
+}
+
+u64
+StatGroup::counterValue(const std::string &name) const
+{
+    auto it = counterIndex_.find(name);
+    if (it == counterIndex_.end())
+        fatal("unknown counter %s.%s", name_.c_str(), name.c_str());
+    return it->second->counter.value();
+}
+
+double
+StatGroup::averageValue(const std::string &name) const
+{
+    auto it = averageIndex_.find(name);
+    if (it == averageIndex_.end())
+        fatal("unknown average %s.%s", name_.c_str(), name.c_str());
+    return it->second->average.mean();
+}
+
+bool
+StatGroup::hasCounter(const std::string &name) const
+{
+    return counterIndex_.count(name) != 0;
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &c : counters_) {
+        os << name_ << '.' << c->name << ' ' << c->counter.value()
+           << "  # " << c->desc << '\n';
+    }
+    for (const auto &a : averages_) {
+        os << name_ << '.' << a->name << ' ' << a->average.mean()
+           << "  # " << a->desc << '\n';
+    }
+    return os.str();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &c : counters_)
+        c->counter.reset();
+    for (auto &a : averages_)
+        a->average.reset();
+}
+
+} // namespace carf::stats

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental scalar type aliases used across the CARF library.
+ *
+ * The library models a 64-bit machine: architectural and physical
+ * register values, memory addresses, and cycle counts are all 64 bits
+ * wide. Narrow aliases exist for compact table fields.
+ */
+
+#ifndef CARF_COMMON_TYPES_HH
+#define CARF_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace carf
+{
+
+using std::size_t;
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Simulated machine address. */
+using Addr = u64;
+
+/** Simulation cycle count. */
+using Cycle = u64;
+
+/** Dynamic instruction sequence number (program order). */
+using InstSeqNum = u64;
+
+/** Invalid/unassigned marker for indices stored as 32-bit ints. */
+inline constexpr u32 invalidIndex = 0xffffffffu;
+
+} // namespace carf
+
+#endif // CARF_COMMON_TYPES_HH

@@ -1,0 +1,28 @@
+#include "core/bypass.hh"
+
+namespace carf::core
+{
+
+void
+BypassStats::record(OperandSource source, bool is_fp)
+{
+    switch (source) {
+      case OperandSource::None:
+        break;
+      case OperandSource::Bypass:
+        ++bypassed_[is_fp];
+        break;
+      case OperandSource::RegFile:
+        ++regFile_[is_fp];
+        break;
+    }
+}
+
+double
+BypassStats::bypassFraction() const
+{
+    u64 total = totalBypassed() + totalRegFile();
+    return total ? static_cast<double>(totalBypassed()) / total : 0.0;
+}
+
+} // namespace carf::core

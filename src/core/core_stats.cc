@@ -1,0 +1,36 @@
+#include "core/core_stats.hh"
+
+namespace carf::core
+{
+
+const char *
+OperandMix::bucketName(unsigned bucket)
+{
+    switch (bucket) {
+      case OnlySimple: return "only simple";
+      case OnlyShort: return "only short";
+      case OnlyLong: return "only long";
+      case SimpleShort: return "simple+short";
+      case SimpleLong: return "simple+long";
+      case ShortLong: return "short+long";
+    }
+    return "?";
+}
+
+u64
+OperandMix::total() const
+{
+    u64 sum = 0;
+    for (u64 c : counts)
+        sum += c;
+    return sum;
+}
+
+double
+OperandMix::fraction(unsigned bucket) const
+{
+    u64 sum = total();
+    return sum ? static_cast<double>(counts[bucket]) / sum : 0.0;
+}
+
+} // namespace carf::core

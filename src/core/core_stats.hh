@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Pipeline statistics bundle and the run-result summary returned by
+ * Pipeline::run().
+ */
+
+#ifndef CARF_CORE_CORE_STATS_HH
+#define CARF_CORE_CORE_STATS_HH
+
+#include <string>
+
+#include "common/stats.hh"
+#include "core/bypass.hh"
+#include "regfile/regfile.hh"
+
+namespace carf::core
+{
+
+/**
+ * Source-operand type-combination buckets for integer instructions
+ * (paper Table 4, for instructions reading at least one integer
+ * register operand).
+ */
+struct OperandMix
+{
+    enum Bucket : unsigned
+    {
+        OnlySimple,
+        OnlyShort,
+        OnlyLong,
+        SimpleShort,
+        SimpleLong,
+        ShortLong,
+        NumBuckets,
+    };
+
+    u64 counts[NumBuckets] = {};
+
+    static const char *bucketName(unsigned bucket);
+
+    void
+    record(bool has_simple, bool has_short, bool has_long)
+    {
+        unsigned kinds = (has_simple ? 1 : 0) + (has_short ? 1 : 0) +
+                         (has_long ? 1 : 0);
+        if (kinds == 0)
+            return;
+        if (kinds == 1) {
+            if (has_simple)
+                ++counts[OnlySimple];
+            else if (has_short)
+                ++counts[OnlyShort];
+            else
+                ++counts[OnlyLong];
+        } else if (has_simple && has_short && !has_long) {
+            ++counts[SimpleShort];
+        } else if (has_simple && has_long && !has_short) {
+            ++counts[SimpleLong];
+        } else if (has_short && has_long && !has_simple) {
+            ++counts[ShortLong];
+        } else {
+            // Three kinds across >2 operands: bucket with the rarest
+            // pair, mirroring the paper's six-way table.
+            ++counts[ShortLong];
+        }
+    }
+
+    u64 total() const;
+    double fraction(unsigned bucket) const;
+};
+
+/**
+ * Inter-cluster communication estimate for the §6 value-type-clustered
+ * microarchitecture: an instruction is steered to the cluster of its
+ * result type; each register source operand of a *different* type
+ * requires an inter-cluster transfer.
+ */
+struct ClusterStats
+{
+    /** Operands whose type matches the consumer's steering type. */
+    u64 localOperands = 0;
+    /** Operands needing an inter-cluster transfer. */
+    u64 crossOperands = 0;
+
+    double
+    crossFraction() const
+    {
+        u64 total = localOperands + crossOperands;
+        return total ? static_cast<double>(crossOperands) / total : 0.0;
+    }
+};
+
+/** Summary of one simulated run. */
+struct RunResult
+{
+    std::string workload;
+    std::string config;
+
+    Cycle cycles = 0;
+    u64 committedInsts = 0;
+    double ipc = 0.0;
+
+    u64 condBranches = 0;
+    u64 branchMispredicts = 0;
+
+    BypassStats bypass;
+    OperandMix operandMix;
+    ClusterStats cluster;
+
+    regfile::AccessCounts intRfAccesses;
+    /** Short file allocation writes (address path). */
+    u64 shortFileWrites = 0;
+
+    u64 longAllocStalls = 0;
+    u64 recoveries = 0;
+    u64 issueStallCycles = 0;
+    double avgLiveLong = 0.0;
+    double avgLiveShort = 0.0;
+
+    double branchMispredictRate() const
+    {
+        return condBranches
+                   ? static_cast<double>(branchMispredicts) / condBranches
+                   : 0.0;
+    }
+};
+
+} // namespace carf::core
+
+#endif // CARF_CORE_CORE_STATS_HH

@@ -1,0 +1,38 @@
+#include "core/issue_queue.hh"
+
+#include "common/logging.hh"
+
+namespace carf::core
+{
+
+void
+IssueQueue::insert()
+{
+    if (full())
+        panic("IssueQueue: insert into full queue");
+    ++occupancy_;
+}
+
+void
+IssueQueue::remove()
+{
+    if (occupancy_ == 0)
+        panic("IssueQueue: remove from empty queue");
+    --occupancy_;
+}
+
+bool
+usesFpQueue(isa::Opcode op)
+{
+    switch (isa::opInfo(op).opClass) {
+      case isa::OpClass::FpAlu:
+      case isa::OpClass::FpMul:
+      case isa::OpClass::FpDiv:
+      case isa::OpClass::FpCvt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace carf::core

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Issue queue occupancy model. Instructions live in the ROB; the
+ * queues only bound how many dispatched-but-not-issued instructions
+ * of each class the scheduler can hold (Table 1: 32 int + 32 fp).
+ */
+
+#ifndef CARF_CORE_ISSUE_QUEUE_HH
+#define CARF_CORE_ISSUE_QUEUE_HH
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace carf::core
+{
+
+/** Bounded occupancy counter for one scheduler class. */
+class IssueQueue
+{
+  public:
+    explicit IssueQueue(unsigned capacity) : capacity_(capacity) {}
+
+    bool full() const { return occupancy_ >= capacity_; }
+    unsigned occupancy() const { return occupancy_; }
+    unsigned capacity() const { return capacity_; }
+
+    void insert();
+    void remove();
+
+  private:
+    unsigned capacity_;
+    unsigned occupancy_ = 0;
+};
+
+/**
+ * Scheduler class of an opcode: FP arithmetic goes to the FP queue,
+ * everything else (including FP loads/stores, whose address
+ * generation is integer work) to the integer queue.
+ */
+bool usesFpQueue(isa::Opcode op);
+
+} // namespace carf::core
+
+#endif // CARF_CORE_ISSUE_QUEUE_HH

@@ -1,0 +1,81 @@
+#include "core/lsq.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace carf::core
+{
+
+void
+Lsq::dispatchLoad(InstSeqNum seq)
+{
+    (void)seq;
+    if (full())
+        panic("Lsq: dispatch into full queue");
+    ++occupancy_;
+}
+
+void
+Lsq::dispatchStore(InstSeqNum seq, Addr addr, unsigned bytes)
+{
+    if (full())
+        panic("Lsq: dispatch into full queue");
+    ++occupancy_;
+    stores_.push_back({seq, addr, bytes, false, 0});
+}
+
+void
+Lsq::storeIssued(InstSeqNum seq, Cycle complete_cycle)
+{
+    for (StoreEntry &entry : stores_) {
+        if (entry.seq == seq) {
+            entry.issued = true;
+            entry.completeCycle = complete_cycle;
+            return;
+        }
+    }
+    panic("Lsq: storeIssued for unknown store %llu",
+          static_cast<unsigned long long>(seq));
+}
+
+void
+Lsq::commitLoad()
+{
+    if (occupancy_ == 0)
+        panic("Lsq: commit from empty queue");
+    --occupancy_;
+}
+
+void
+Lsq::commitStore(InstSeqNum seq)
+{
+    if (occupancy_ == 0)
+        panic("Lsq: commit from empty queue");
+    --occupancy_;
+    if (stores_.empty() || stores_.front().seq != seq)
+        panic("Lsq: stores must commit in order");
+    stores_.pop_front();
+}
+
+bool
+Lsq::loadReadyCycle(InstSeqNum seq, Addr addr, unsigned bytes,
+                    Cycle &cycle_out) const
+{
+    Cycle ready = 0;
+    for (const StoreEntry &entry : stores_) {
+        if (entry.seq >= seq)
+            break; // stores_ is age-ordered
+        bool overlap = entry.addr < addr + bytes &&
+                       addr < entry.addr + entry.bytes;
+        if (!overlap)
+            continue;
+        if (!entry.issued)
+            return false;
+        ready = std::max(ready, entry.completeCycle);
+    }
+    cycle_out = ready;
+    return true;
+}
+
+} // namespace carf::core

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Load/store queue: occupancy bound plus oracle memory-dependence
+ * checking over the in-flight window.
+ *
+ * The simulator knows every effective address exactly (the trace is
+ * functionally executed), so disambiguation is perfect: a load is
+ * ordered only behind older overlapping stores. This stands in for
+ * the paper's execution-driven simulator's dependence speculation.
+ */
+
+#ifndef CARF_CORE_LSQ_HH
+#define CARF_CORE_LSQ_HH
+
+#include <deque>
+
+#include "common/types.hh"
+
+namespace carf::core
+{
+
+/** LSQ occupancy + in-flight store address tracking. */
+class Lsq
+{
+  public:
+    explicit Lsq(unsigned capacity) : capacity_(capacity) {}
+
+    bool full() const { return occupancy_ >= capacity_; }
+    unsigned occupancy() const { return occupancy_; }
+
+    /** A memory op dispatched. Stores register their byte range. */
+    void dispatchLoad(InstSeqNum seq);
+    void dispatchStore(InstSeqNum seq, Addr addr, unsigned bytes);
+
+    /** The store @p seq issued; forwardable from @p complete_cycle. */
+    void storeIssued(InstSeqNum seq, Cycle complete_cycle);
+
+    /** A memory op committed (frees its slot). */
+    void commitLoad();
+    void commitStore(InstSeqNum seq);
+
+    /**
+     * Earliest cycle a load of [addr, addr+bytes) with sequence
+     * number @p seq may begin execution, considering older
+     * overlapping stores (store-to-load forwarding takes effect the
+     * cycle the store's data is available).
+     *
+     * @retval false when an older overlapping store has not issued
+     *         yet (the load must wait; *cycle_out untouched)
+     */
+    bool loadReadyCycle(InstSeqNum seq, Addr addr, unsigned bytes,
+                        Cycle &cycle_out) const;
+
+  private:
+    struct StoreEntry
+    {
+        InstSeqNum seq;
+        Addr addr;
+        unsigned bytes;
+        bool issued = false;
+        Cycle completeCycle = 0;
+    };
+
+    unsigned capacity_;
+    unsigned occupancy_ = 0;
+    std::deque<StoreEntry> stores_;
+};
+
+} // namespace carf::core
+
+#endif // CARF_CORE_LSQ_HH

@@ -1,0 +1,55 @@
+#include "core/params.hh"
+
+namespace carf::core
+{
+
+const char *
+regFileKindName(RegFileKind kind)
+{
+    switch (kind) {
+      case RegFileKind::Unlimited: return "unlimited";
+      case RegFileKind::Baseline: return "baseline";
+      case RegFileKind::ContentAware: return "content-aware";
+    }
+    return "?";
+}
+
+CoreParams
+CoreParams::unlimited()
+{
+    CoreParams p;
+    p.regFileKind = RegFileKind::Unlimited;
+    p.physIntRegs = 160;
+    p.physFpRegs = 160;
+    p.intRfReadPorts = 16;
+    p.intRfWritePorts = 8;
+    p.fpRfReadPorts = 16;
+    p.fpRfWritePorts = 8;
+    return p;
+}
+
+CoreParams
+CoreParams::baseline()
+{
+    CoreParams p;
+    p.regFileKind = RegFileKind::Baseline;
+    return p;
+}
+
+CoreParams
+CoreParams::contentAware(unsigned d_plus_n, unsigned n,
+                         unsigned long_entries)
+{
+    CoreParams p;
+    p.regFileKind = RegFileKind::ContentAware;
+    p.regReadStages = 2;
+    p.intWbStages = 2;
+    p.extraBypassLevel = true;
+    p.ca.sim.d = d_plus_n - n;
+    p.ca.sim.n = n;
+    p.ca.longEntries = long_entries;
+    p.ca.issueStallThreshold = p.issueWidth;
+    return p;
+}
+
+} // namespace carf::core

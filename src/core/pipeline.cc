@@ -1,0 +1,720 @@
+#include "core/pipeline.hh"
+
+#include <array>
+#include <optional>
+
+#include "common/logging.hh"
+#include "regfile/baseline.hh"
+#include "regfile/content_aware.hh"
+
+namespace carf::core
+{
+
+using emu::DynOp;
+using isa::Opcode;
+using regfile::ValueType;
+
+namespace
+{
+
+/** Instruction bytes per trace pc slot (word-addressed ISA). */
+constexpr u64 instBytes = 4;
+/** Fetch buffer capacity in instructions. */
+constexpr size_t fetchBufferCap = 32;
+/** Cycles without a commit before the simulator declares a bug. */
+constexpr Cycle watchdogCycles = 200000;
+
+} // namespace
+
+Pipeline::Pipeline(const CoreParams &params)
+    : params_(params),
+      intMap_(isa::numArchRegs, params.physIntRegs),
+      fpMap_(isa::numArchRegs, params.physFpRegs),
+      intTags_(params.physIntRegs),
+      fpTags_(params.physFpRegs),
+      rob_(params.robSize),
+      intIq_(params.intIqSize),
+      fpIq_(params.fpIqSize),
+      lsq_(params.lsqSize),
+      gshare_(params.gshareHistoryBits),
+      btb_(params.btbEntries),
+      ras_(params.rasDepth),
+      memory_(params.memory)
+{
+    // An instruction may need one register file read per source
+    // operand in a single cycle; fewer than two ports per file would
+    // deadlock two-source consumers of non-bypassable operands.
+    if (params_.intRfReadPorts < 2 || params_.fpRfReadPorts < 2)
+        fatal("Pipeline: at least 2 read ports per register file "
+              "are required");
+    switch (params_.regFileKind) {
+      case RegFileKind::Unlimited:
+      case RegFileKind::Baseline:
+        intRf_ = std::make_unique<regfile::BaselineRegFile>(
+            "intRf", params_.physIntRegs);
+        break;
+      case RegFileKind::ContentAware: {
+        auto ca = std::make_unique<regfile::ContentAwareRegFile>(
+            "intRf", params_.physIntRegs, params_.ca);
+        caRf_ = ca.get();
+        intRf_ = std::move(ca);
+        break;
+      }
+    }
+    fpRf_ = std::make_unique<regfile::BaselineRegFile>(
+        "fpRf", params_.physFpRegs);
+
+    // Architectural registers start live with value zero (matching
+    // the emulator's initial state).
+    for (u32 tag = 0; tag < isa::numArchRegs; ++tag) {
+        intRf_->write(tag, 0);
+        fpRf_->write(tag, 0);
+    }
+    intRf_->clearAccessCounts();
+    fpRf_->clearAccessCounts();
+}
+
+Pipeline::~Pipeline() = default;
+
+u64
+Pipeline::archIntReg(unsigned idx) const
+{
+    if (idx == 0)
+        return 0;
+    return intRf_->peekValue(intMap_.lookup(idx));
+}
+
+u64
+Pipeline::archFpReg(unsigned idx) const
+{
+    return fpRf_->peekValue(fpMap_.lookup(idx));
+}
+
+Pipeline::TagInfo &
+Pipeline::tagInfo(u32 tag, bool is_fp)
+{
+    return is_fp ? fpTags_.at(tag) : intTags_.at(tag);
+}
+
+const Pipeline::TagInfo &
+Pipeline::tagInfo(u32 tag, bool is_fp) const
+{
+    return is_fp ? fpTags_.at(tag) : intTags_.at(tag);
+}
+
+void
+Pipeline::gatherSources(const InFlightInst &inst, SourceView &s1,
+                        SourceView &s2) const
+{
+    s1 = SourceView{};
+    s2 = SourceView{};
+    if (inst.src1Tag != invalidIndex) {
+        s1.used = true;
+        s1.tag = inst.src1Tag;
+        s1.isFp = inst.src1IsFp;
+        s1.value = inst.op.rs1Value;
+    }
+    if (inst.src2Tag != invalidIndex) {
+        s2.used = true;
+        s2.tag = inst.src2Tag;
+        s2.isFp = inst.src2IsFp;
+        s2.value = inst.op.rs2Value;
+    }
+}
+
+bool
+Pipeline::predictBranch(const DynOp &op)
+{
+    u64 pc = op.pc;
+    bool correct = true;
+
+    if (isa::isConditionalBranch(op.op)) {
+        ++result_.condBranches;
+        bool pred = gshare_.predict(pc);
+        gshare_.update(pc, op.taken);
+        if (pred != op.taken) {
+            correct = false;
+        } else if (op.taken) {
+            u64 target;
+            bool hit = btb_.lookup(pc, target);
+            if (!hit || target != op.nextPc)
+                correct = false;
+        }
+        if (op.taken)
+            btb_.update(pc, op.nextPc);
+        if (!correct)
+            ++result_.branchMispredicts;
+        return correct;
+    }
+
+    if (op.op == Opcode::JAL) {
+        if (op.rd != 0)
+            ras_.push(pc + 1);
+        u64 target;
+        bool hit = btb_.lookup(pc, target);
+        correct = hit && target == op.nextPc;
+        btb_.update(pc, op.nextPc);
+        return correct;
+    }
+
+    if (op.op == Opcode::JALR) {
+        u64 target = 0;
+        bool predicted = false;
+        if (op.rd == 0) {
+            // Return-like: prefer the RAS.
+            predicted = ras_.pop(target);
+        }
+        if (!predicted)
+            predicted = btb_.lookup(pc, target);
+        correct = predicted && target == op.nextPc;
+        btb_.update(pc, op.nextPc);
+        return correct;
+    }
+
+    return true;
+}
+
+void
+Pipeline::doCommit(Cycle cur)
+{
+    (void)cur;
+    unsigned budget = params_.commitWidth;
+    while (budget > 0 && !rob_.empty()) {
+        InFlightInst &head = rob_.head();
+        if (head.state != InstState::WrittenBack)
+            break;
+
+        if (head.hasDest()) {
+            if (head.destIsFp) {
+                fpRf_->release(head.oldDestTag);
+                fpMap_.releaseTag(head.oldDestTag);
+            } else {
+                intRf_->release(head.oldDestTag);
+                intMap_.releaseTag(head.oldDestTag);
+            }
+        }
+        if (head.op.isLoad())
+            lsq_.commitLoad();
+        else if (head.op.isStore())
+            lsq_.commitStore(head.op.seq);
+
+        ++result_.committedInsts;
+        ++committedSinceInterval_;
+        if (committedSinceInterval_ >= rob_.capacity()) {
+            committedSinceInterval_ = 0;
+            intRf_->onRobInterval();
+        }
+
+        rob_.popHead();
+        --budget;
+    }
+}
+
+void
+Pipeline::doWriteback(Cycle cur)
+{
+    unsigned int_ports = params_.intRfWritePorts;
+    unsigned fp_ports = params_.fpRfWritePorts;
+
+    for (InFlightInst &inst : rob_) {
+        if (inst.state != InstState::Issued || inst.completeCycle > cur)
+            continue;
+
+        if (!inst.hasDest()) {
+            inst.state = InstState::WrittenBack;
+            inst.wbCycle = cur;
+            continue;
+        }
+
+        if (inst.destIsFp) {
+            if (fp_ports == 0)
+                continue;
+            fpRf_->write(inst.destTag, inst.op.rdValue);
+            --fp_ports;
+            TagInfo &ti = tagInfo(inst.destTag, true);
+            ti.state = TagInfo::State::Done;
+            ti.rfReadableCycle = cur + 1;
+            inst.state = InstState::WrittenBack;
+            inst.wbCycle = cur;
+            continue;
+        }
+
+        if (int_ports == 0)
+            continue;
+        regfile::WriteAccess access =
+            intRf_->write(inst.destTag, inst.op.rdValue);
+        if (access.stalled) {
+            // Long file exhausted. If this is the ROB head nothing
+            // can free an entry: pseudo-deadlock recovery (§3.2).
+            if (&inst == &rob_.head()) {
+                access = caRf_->writeForced(inst.destTag,
+                                            inst.op.rdValue);
+            } else {
+                inst.wbStalledOnLong = true;
+                continue; // port not consumed; retry next cycle
+            }
+        }
+        --int_ports;
+        TagInfo &ti = tagInfo(inst.destTag, false);
+        ti.state = TagInfo::State::Done;
+        ti.rfReadableCycle = cur + params_.intWbStages;
+        inst.state = InstState::WrittenBack;
+        inst.wbCycle = cur;
+    }
+}
+
+void
+Pipeline::doIssue(Cycle cur)
+{
+    unsigned budget = params_.issueWidth;
+    unsigned int_fu = params_.intFuCount;
+    unsigned fp_fu = params_.fpFuCount;
+    unsigned mem_ports = memory_.dl1Ports();
+    unsigned int_read_ports = params_.intRfReadPorts;
+    unsigned fp_read_ports = params_.fpRfReadPorts;
+
+    bool stall_int_writers = intRf_->shouldStallIssue();
+    bool long_stall_seen = false;
+
+    Cycle exec = cur + params_.regReadStages;
+
+    for (InFlightInst &inst : rob_) {
+        if (budget == 0)
+            break;
+        if (inst.state != InstState::Dispatched)
+            continue;
+        if (inst.renameCycle >= cur)
+            continue; // renamed this very cycle
+
+        bool fpq = usesFpQueue(inst.op.op);
+        bool is_load = inst.op.isLoad();
+        bool is_store = inst.op.isStore();
+        bool is_mem = is_load || is_store;
+
+        if (fpq ? fp_fu == 0 : int_fu == 0)
+            continue;
+        if (is_mem && mem_ports == 0)
+            continue;
+        // The ROB head is exempt from the free-Long issue stall:
+        // stalling it would deadlock (younger completed instructions
+        // hold Long entries they can only release by committing
+        // behind the head). The head's writeback can always fall back
+        // to the forced-recovery path.
+        if (stall_int_writers && inst.writesIntDest() &&
+            &inst != &rob_.head()) {
+            long_stall_seen = true;
+            continue;
+        }
+
+        SourceView s1, s2;
+        gatherSources(inst, s1, s2);
+
+        OperandSource so1 = OperandSource::None;
+        OperandSource so2 = OperandSource::None;
+        auto check_src = [&](const SourceView &s, OperandSource &out) {
+            if (!s.used) {
+                out = OperandSource::None;
+                return true;
+            }
+            const TagInfo &ti = tagInfo(s.tag, s.isFp);
+            if (ti.state == TagInfo::State::Pending)
+                return false;
+            if (exec < ti.completeCycle)
+                return false;
+            unsigned window = s.isFp ? params_.fpBypassWindow()
+                                     : params_.intBypassWindow();
+            if (exec < ti.completeCycle + window) {
+                out = OperandSource::Bypass;
+                return true;
+            }
+            if (ti.state != TagInfo::State::Done ||
+                exec - 1 < ti.rfReadableCycle) {
+                return false; // value in the writeback gap
+            }
+            out = OperandSource::RegFile;
+            return true;
+        };
+        if (!check_src(s1, so1) || !check_src(s2, so2))
+            continue;
+
+        unsigned need_int_rd = 0, need_fp_rd = 0;
+        auto count_port = [&](const SourceView &s, OperandSource so) {
+            if (so != OperandSource::RegFile)
+                return;
+            if (s.isFp)
+                ++need_fp_rd;
+            else
+                ++need_int_rd;
+        };
+        count_port(s1, so1);
+        count_port(s2, so2);
+        if (need_int_rd > int_read_ports || need_fp_rd > fp_read_ports)
+            continue;
+
+        Cycle latency = inst.op.info().latency;
+        if (is_load) {
+            Cycle dep_ready = 0;
+            if (!lsq_.loadReadyCycle(inst.op.seq, inst.op.effAddr,
+                                     inst.op.info().memBytes,
+                                     dep_ready)) {
+                continue;
+            }
+            if (dep_ready > exec)
+                continue;
+            latency = 1 + memory_.dataAccess(inst.op.effAddr);
+        } else if (is_store) {
+            latency = 1;
+            memory_.dataAccess(inst.op.effAddr);
+        }
+
+        // --- commit to issuing this instruction ---
+        --budget;
+        if (fpq)
+            --fp_fu;
+        else
+            --int_fu;
+        if (is_mem)
+            --mem_ports;
+        int_read_ports -= need_int_rd;
+        fp_read_ports -= need_fp_rd;
+
+        inst.state = InstState::Issued;
+        inst.issueCycle = cur;
+        inst.completeCycle = exec + latency;
+        (fpq ? fpIq_ : intIq_).remove();
+
+        if (inst.hasDest()) {
+            TagInfo &ti = tagInfo(inst.destTag, inst.destIsFp);
+            ti.state = TagInfo::State::Issued;
+            ti.completeCycle = inst.completeCycle;
+            ti.rfReadableCycle = ~Cycle{0};
+        }
+
+        auto consume_src = [&](const SourceView &s, OperandSource so) {
+            if (!s.used)
+                return;
+            result_.bypass.record(so, s.isFp);
+            if (so == OperandSource::RegFile) {
+                regfile::RegisterFile &rf = s.isFp ? *fpRf_ : *intRf_;
+                regfile::ReadAccess read = rf.read(s.tag);
+                if (read.value != s.value) {
+                    panic("operand mismatch: seq %llu tag %u "
+                          "rf=%llx trace=%llx",
+                          (unsigned long long)inst.op.seq, s.tag,
+                          (unsigned long long)read.value,
+                          (unsigned long long)s.value);
+                }
+            }
+        };
+        consume_src(s1, so1);
+        consume_src(s2, so2);
+
+        // Table 4: source operand type mix over integer operands,
+        // and the §6 clustering estimate (steer by result type; a
+        // source of another type crosses clusters).
+        if (caRf_) {
+            bool has_simple = false, has_short = false, has_long = false;
+            auto type_of = [&](const SourceView &s) {
+                return caRf_->classifyPeek(s.value);
+            };
+            auto mix_src = [&](const SourceView &s) {
+                if (!s.used || s.isFp)
+                    return;
+                switch (type_of(s)) {
+                  case ValueType::Simple: has_simple = true; break;
+                  case ValueType::Short: has_short = true; break;
+                  case ValueType::Long: has_long = true; break;
+                }
+            };
+            mix_src(s1);
+            mix_src(s2);
+            result_.operandMix.record(has_simple, has_short, has_long);
+
+            // Clustering estimate: steer the instruction to the
+            // cluster holding (the majority of) its integer operands;
+            // with two differing operands, prefer the cluster of the
+            // result type so the writeback stays local, and the other
+            // operand crosses.
+            bool u1 = s1.used && !s1.isFp;
+            bool u2 = s2.used && !s2.isFp;
+            if (u1 && u2) {
+                ValueType t1 = type_of(s1);
+                ValueType t2 = type_of(s2);
+                if (t1 == t2) {
+                    result_.cluster.localOperands += 2;
+                } else {
+                    ++result_.cluster.localOperands;
+                    ++result_.cluster.crossOperands;
+                }
+            } else if (u1 || u2) {
+                ++result_.cluster.localOperands;
+            }
+        }
+
+        if (is_mem)
+            intRf_->noteAddress(inst.op.effAddr);
+        if (is_store)
+            lsq_.storeIssued(inst.op.seq, inst.completeCycle);
+
+        if (inst.mispredicted) {
+            fetchResumeCycle_ = inst.completeCycle;
+            pendingRedirect_ = false;
+        }
+    }
+
+    if (long_stall_seen)
+        ++result_.issueStallCycles;
+}
+
+void
+Pipeline::doRename(Cycle cur)
+{
+    unsigned budget = params_.fetchWidth;
+    while (budget > 0 && !fetchBuffer_.empty()) {
+        FetchedInst &fetched = fetchBuffer_.front();
+        if (fetched.fetchCycle + params_.frontendDepth > cur)
+            break;
+        if (rob_.full())
+            break;
+
+        const DynOp &op = fetched.op;
+        const isa::OpInfo &info = isa::opInfo(op.op);
+        bool fpq = usesFpQueue(op.op);
+        IssueQueue &iq = fpq ? fpIq_ : intIq_;
+        if (iq.full())
+            break;
+        bool is_mem = op.isLoad() || op.isStore();
+        if (is_mem && lsq_.full())
+            break;
+        bool int_dest = op.writesIntReg();
+        bool fp_dest = op.writesFpReg();
+        if (int_dest && !intMap_.canRename())
+            break;
+        if (fp_dest && !fpMap_.canRename())
+            break;
+
+        InFlightInst &inst = rob_.push(op);
+        inst.fetchCycle = fetched.fetchCycle;
+        inst.renameCycle = cur;
+        inst.mispredicted = fetched.mispredicted;
+
+        if (info.rs1Class == isa::RegClass::Int) {
+            if (op.rs1 != 0) {
+                inst.src1Tag = intMap_.lookup(op.rs1);
+                inst.src1IsFp = false;
+            }
+        } else if (info.rs1Class == isa::RegClass::Fp) {
+            inst.src1Tag = fpMap_.lookup(op.rs1);
+            inst.src1IsFp = true;
+        }
+        if (info.rs2Class == isa::RegClass::Int) {
+            if (op.rs2 != 0) {
+                inst.src2Tag = intMap_.lookup(op.rs2);
+                inst.src2IsFp = false;
+            }
+        } else if (info.rs2Class == isa::RegClass::Fp) {
+            inst.src2Tag = fpMap_.lookup(op.rs2);
+            inst.src2IsFp = true;
+        }
+
+        if (int_dest) {
+            inst.destTag = intMap_.rename(op.rd, inst.oldDestTag);
+            inst.destIsFp = false;
+            tagInfo(inst.destTag, false).state = TagInfo::State::Pending;
+        } else if (fp_dest) {
+            inst.destTag = fpMap_.rename(op.rd, inst.oldDestTag);
+            inst.destIsFp = true;
+            tagInfo(inst.destTag, true).state = TagInfo::State::Pending;
+        }
+
+        iq.insert();
+        if (op.isLoad())
+            lsq_.dispatchLoad(op.seq);
+        else if (op.isStore())
+            lsq_.dispatchStore(op.seq, op.effAddr, info.memBytes);
+
+        fetchBuffer_.pop_front();
+        --budget;
+    }
+}
+
+void
+Pipeline::doFetch(Cycle cur, emu::TraceSource &source)
+{
+    static_assert(instBytes > 0);
+    if (traceExhausted_ || pendingRedirect_ || cur < fetchResumeCycle_)
+        return;
+
+    unsigned budget = params_.fetchWidth;
+    unsigned line_shift = 6; // 64B fetch lines
+
+    while (budget > 0 && fetchBuffer_.size() < fetchBufferCap) {
+        DynOp op;
+        if (pendingFetchValid_) {
+            op = pendingFetch_;
+            pendingFetchValid_ = false;
+        } else if (!source.next(op)) {
+            traceExhausted_ = true;
+            return;
+        }
+
+        u64 line = (op.pc * instBytes) >> line_shift;
+        if (line != lastFetchLine_) {
+            Cycle lat = memory_.instAccess(op.pc * instBytes);
+            lastFetchLine_ = line;
+            if (lat > params_.memory.il1.hitLatency) {
+                // I-cache miss: stash the instruction and stall.
+                pendingFetch_ = op;
+                pendingFetchValid_ = true;
+                lastFetchLine_ = ~u64{0}; // re-check after refill
+                fetchResumeCycle_ = cur + lat;
+                return;
+            }
+        }
+
+        bool is_branch = op.isBranch();
+        bool correct = true;
+        if (is_branch)
+            correct = predictBranch(op);
+
+        fetchBuffer_.push_back({op, cur, !correct});
+        --budget;
+
+        if (!correct) {
+            pendingRedirect_ = true;
+            return;
+        }
+        if (is_branch && op.taken)
+            return; // taken branch ends the fetch group
+    }
+}
+
+void
+Pipeline::warmUp(emu::TraceSource &source, u64 insts)
+{
+    std::array<u64, isa::numArchRegs> int_vals{};
+    std::array<bool, isa::numArchRegs> int_set{};
+    std::array<u64, isa::numArchRegs> fp_vals{};
+    std::array<bool, isa::numArchRegs> fp_set{};
+
+    DynOp op;
+    for (u64 i = 0; i < insts && source.next(op); ++i) {
+        if (op.isBranch())
+            predictBranch(op);
+        memory_.instAccess(op.pc * instBytes);
+        if (op.isLoad() || op.isStore()) {
+            memory_.dataAccess(op.effAddr);
+            intRf_->noteAddress(op.effAddr);
+        }
+        if (op.writesIntReg()) {
+            int_vals[op.rd] = op.rdValue;
+            int_set[op.rd] = true;
+        } else if (op.writesFpReg()) {
+            fp_vals[op.rd] = op.rdValue;
+            fp_set[op.rd] = true;
+        }
+    }
+
+    // Install the fast-forwarded architectural values so the timed
+    // window reads consistent register state.
+    for (unsigned r = 0; r < isa::numArchRegs; ++r) {
+        if (int_set[r]) {
+            u32 tag = intMap_.lookup(r);
+            intRf_->release(tag);
+            regfile::WriteAccess access =
+                intRf_->write(tag, int_vals[r]);
+            if (access.stalled)
+                caRf_->writeForced(tag, int_vals[r]);
+        }
+        if (fp_set[r]) {
+            u32 tag = fpMap_.lookup(r);
+            fpRf_->release(tag);
+            fpRf_->write(tag, fp_vals[r]);
+        }
+    }
+    intRf_->clearAccessCounts();
+    fpRf_->clearAccessCounts();
+    result_ = RunResult{};
+}
+
+RunResult
+Pipeline::run(emu::TraceSource &source, CycleObserver *observer)
+{
+    result_ = RunResult{};
+    result_.workload = source.name();
+    result_.config = regFileKindName(params_.regFileKind);
+
+    stats::Average live_long;
+    stats::Average live_short;
+
+    Cycle cur = 0;
+    u64 last_commit_count = 0;
+    Cycle last_progress = 0;
+
+    while (!(traceExhausted_ && rob_.empty() && fetchBuffer_.empty() &&
+             !pendingFetchValid_)) {
+        doCommit(cur);
+        doWriteback(cur);
+        doIssue(cur);
+        doRename(cur);
+        doFetch(cur, source);
+
+        if (observer && params_.oracleSamplePeriod &&
+            cur % params_.oracleSamplePeriod == 0) {
+            observer->sampleCycle(cur, *intRf_);
+        }
+        if (caRf_) {
+            live_long.sample(caRf_->params().longEntries -
+                             caRf_->freeLongEntries());
+            live_short.sample(caRf_->liveShortEntries());
+        }
+
+        if (result_.committedInsts != last_commit_count) {
+            last_commit_count = result_.committedInsts;
+            last_progress = cur;
+        } else if (cur - last_progress > watchdogCycles) {
+            if (rob_.empty()) {
+                panic("pipeline: no commit for %llu cycles, ROB empty",
+                      (unsigned long long)watchdogCycles);
+            }
+            const InFlightInst &head = rob_.head();
+            std::string src_state = "";
+            if (head.src1Tag != invalidIndex) {
+                const TagInfo &ti = tagInfo(head.src1Tag, head.src1IsFp);
+                src_state += strprintf(" src1[tag=%u st=%d c=%llu r=%llu]",
+                    head.src1Tag, (int)ti.state,
+                    (unsigned long long)ti.completeCycle,
+                    (unsigned long long)ti.rfReadableCycle);
+            }
+            if (head.src2Tag != invalidIndex) {
+                const TagInfo &ti = tagInfo(head.src2Tag, head.src2IsFp);
+                src_state += strprintf(" src2[tag=%u st=%d c=%llu r=%llu]",
+                    head.src2Tag, (int)ti.state,
+                    (unsigned long long)ti.completeCycle,
+                    (unsigned long long)ti.rfReadableCycle);
+            }
+            panic("pipeline: no commit for %llu cycles: head seq %llu "
+                  "op %s state %d stallIssue %d%s",
+                  (unsigned long long)watchdogCycles,
+                  (unsigned long long)head.op.seq,
+                  isa::opcodeName(head.op.op).c_str(), (int)head.state,
+                  (int)intRf_->shouldStallIssue(), src_state.c_str());
+        }
+        ++cur;
+    }
+
+    result_.cycles = cur;
+    result_.ipc = cur ? static_cast<double>(result_.committedInsts) / cur
+                      : 0.0;
+    result_.intRfAccesses = intRf_->accessCounts();
+    if (caRf_) {
+        result_.shortFileWrites = caRf_->shortFile().allocations();
+        result_.longAllocStalls = caRf_->longAllocStalls();
+        result_.recoveries = caRf_->recoveries();
+        result_.avgLiveLong = live_long.mean();
+        result_.avgLiveShort = live_short.mean();
+    }
+    return result_;
+}
+
+} // namespace carf::core

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The out-of-order superscalar core (paper Table 1), driven by a
+ * program-order dynamic instruction trace.
+ *
+ * Timing model summary:
+ *  - 8-wide fetch/rename/issue/commit; 128-entry ROB, 64-entry LSQ,
+ *    32+32 issue queue slots; gshare+BTB+RAS front end; two-level
+ *    cache hierarchy.
+ *  - A result completing at cycle c is forwardable via bypass for
+ *    `bypassWindow` cycles; afterwards consumers read the register
+ *    file (subject to read-port arbitration at issue).
+ *  - The content-aware organization adds a second register-read stage
+ *    (RF1/RF2) and a two-stage writeback (WR1 classification, WR2
+ *    write + Long allocation); Long exhaustion stalls the writeback,
+ *    and an issue-stall threshold on free Long entries plus a
+ *    head-of-ROB forced allocation implement the paper's
+ *    pseudo-deadlock avoidance/recovery.
+ *
+ * The front end never fetches wrong-path instructions; a mispredicted
+ * branch stalls fetch until the branch executes, charging the full
+ * redirect-plus-refill latency (see DESIGN.md substitutions).
+ */
+
+#ifndef CARF_CORE_PIPELINE_HH
+#define CARF_CORE_PIPELINE_HH
+
+#include <deque>
+#include <memory>
+
+#include "branch/btb.hh"
+#include "branch/gshare.hh"
+#include "branch/ras.hh"
+#include "core/core_stats.hh"
+#include "core/issue_queue.hh"
+#include "core/lsq.hh"
+#include "core/params.hh"
+#include "core/rename.hh"
+#include "core/rob.hh"
+#include "emu/trace.hh"
+#include "mem/hierarchy.hh"
+#include "regfile/regfile.hh"
+
+namespace carf::core
+{
+
+/**
+ * Per-cycle observer hook; the live-value oracle (src/sim) implements
+ * this to sample the integer register file.
+ */
+class CycleObserver
+{
+  public:
+    virtual ~CycleObserver() = default;
+    virtual void sampleCycle(Cycle cycle,
+                             const regfile::RegisterFile &int_rf) = 0;
+};
+
+/** Trace-driven out-of-order pipeline. */
+class Pipeline
+{
+  public:
+    explicit Pipeline(const CoreParams &params);
+    ~Pipeline();
+
+    /**
+     * Simulate @p source to exhaustion and return the run summary.
+     * @param observer optional per-cycle register file sampler
+     */
+    RunResult run(emu::TraceSource &source,
+                  CycleObserver *observer = nullptr);
+
+    /**
+     * Fast-forward: functionally consume up to @p insts instructions
+     * from @p source before timed simulation, warming the branch
+     * predictor, caches, the Short file, and the architectural
+     * register values (the paper measures representative windows
+     * after a SimPoint-style skip). Call before run(), at most once.
+     */
+    void warmUp(emu::TraceSource &source, u64 insts);
+
+    const CoreParams &params() const { return params_; }
+    regfile::RegisterFile &intRegFile() { return *intRf_; }
+    const regfile::RegisterFile &intRegFile() const { return *intRf_; }
+
+    /**
+     * Architectural value of integer register @p idx through the
+     * current rename mapping (valid once the pipeline has drained;
+     * used to cross-check the timing model against pure functional
+     * execution).
+     */
+    u64 archIntReg(unsigned idx) const;
+    /** Architectural value (raw bits) of fp register @p idx. */
+    u64 archFpReg(unsigned idx) const;
+
+  private:
+    /** Per-physical-tag timing state. */
+    struct TagInfo
+    {
+        enum class State : u8 { Pending, Issued, Done };
+        State state = State::Done;
+        Cycle completeCycle = 0;
+        /** First cycle the value is readable from the file. */
+        Cycle rfReadableCycle = 0;
+    };
+
+    struct FetchedInst
+    {
+        emu::DynOp op;
+        Cycle fetchCycle = 0;
+        bool mispredicted = false;
+    };
+
+    struct SourceView
+    {
+        u32 tag = invalidIndex;
+        bool isFp = false;
+        u64 value = 0;
+        bool used = false;
+    };
+
+    // --- per-cycle stages (called newest-to-oldest pipeline order) ---
+    void doCommit(Cycle cur);
+    void doWriteback(Cycle cur);
+    void doIssue(Cycle cur);
+    void doRename(Cycle cur);
+    void doFetch(Cycle cur, emu::TraceSource &source);
+
+    /** Front-end prediction for @p op; true when correct. */
+    bool predictBranch(const emu::DynOp &op);
+
+    /** Gather the register sources of @p inst. */
+    void gatherSources(const InFlightInst &inst, SourceView &s1,
+                       SourceView &s2) const;
+
+    /** Tag timing lookup by class. */
+    TagInfo &tagInfo(u32 tag, bool is_fp);
+    const TagInfo &tagInfo(u32 tag, bool is_fp) const;
+
+    CoreParams params_;
+
+    std::unique_ptr<regfile::RegisterFile> intRf_;
+    std::unique_ptr<regfile::RegisterFile> fpRf_;
+    regfile::ContentAwareRegFile *caRf_ = nullptr; //!< non-owning view
+
+    RenameMap intMap_;
+    RenameMap fpMap_;
+    std::vector<TagInfo> intTags_;
+    std::vector<TagInfo> fpTags_;
+
+    Rob rob_;
+    IssueQueue intIq_;
+    IssueQueue fpIq_;
+    Lsq lsq_;
+
+    branch::Gshare gshare_;
+    branch::Btb btb_;
+    branch::Ras ras_;
+
+    mem::Hierarchy memory_;
+
+    std::deque<FetchedInst> fetchBuffer_;
+    bool traceExhausted_ = false;
+    bool pendingRedirect_ = false;
+    Cycle fetchResumeCycle_ = 0;
+    u64 lastFetchLine_ = ~u64{0};
+    /** Instruction pulled from the trace but stalled on an I-miss. */
+    emu::DynOp pendingFetch_;
+    bool pendingFetchValid_ = false;
+
+    u64 committedSinceInterval_ = 0;
+
+    RunResult result_;
+};
+
+} // namespace carf::core
+
+#endif // CARF_CORE_PIPELINE_HH

@@ -1,0 +1,54 @@
+#include "core/rename.hh"
+
+#include "common/logging.hh"
+
+namespace carf::core
+{
+
+FreeList::FreeList(u32 total, u32 first)
+{
+    if (first > total)
+        panic("FreeList: first %u > total %u", first, total);
+    free_.reserve(total - first);
+    // Pop order: lowest tag first (purely cosmetic determinism).
+    for (u32 tag = total; tag > first; --tag)
+        free_.push_back(tag - 1);
+}
+
+u32
+FreeList::allocate()
+{
+    if (free_.empty())
+        panic("FreeList: allocate from empty list");
+    u32 tag = free_.back();
+    free_.pop_back();
+    return tag;
+}
+
+void
+FreeList::release(u32 tag)
+{
+    free_.push_back(tag);
+}
+
+RenameMap::RenameMap(unsigned arch_regs, unsigned phys_regs)
+    : physRegs_(phys_regs), rat_(arch_regs),
+      freeList_(phys_regs, arch_regs)
+{
+    if (phys_regs <= arch_regs)
+        fatal("RenameMap: %u physical registers cannot back %u "
+              "architectural registers", phys_regs, arch_regs);
+    for (unsigned i = 0; i < arch_regs; ++i)
+        rat_[i] = i;
+}
+
+u32
+RenameMap::rename(unsigned arch, u32 &old_tag_out)
+{
+    old_tag_out = rat_.at(arch);
+    u32 fresh = freeList_.allocate();
+    rat_[arch] = fresh;
+    return fresh;
+}
+
+} // namespace carf::core

@@ -1,0 +1,18 @@
+#include "core/rob.hh"
+
+#include "common/logging.hh"
+
+namespace carf::core
+{
+
+InFlightInst &
+Rob::push(const emu::DynOp &op)
+{
+    if (full())
+        panic("Rob: push into full ROB");
+    entries_.emplace_back();
+    entries_.back().op = op;
+    return entries_.back();
+}
+
+} // namespace carf::core

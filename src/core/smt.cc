@@ -1,0 +1,642 @@
+#include "core/smt.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "regfile/baseline.hh"
+#include "regfile/content_aware.hh"
+
+namespace carf::core
+{
+
+using emu::DynOp;
+using isa::Opcode;
+using regfile::ValueType;
+
+namespace
+{
+
+constexpr u64 instBytes = 4;
+constexpr size_t fetchBufferCap = 32;
+constexpr Cycle watchdogCycles = 200000;
+
+} // namespace
+
+SmtPipeline::SmtPipeline(const CoreParams &params, unsigned num_threads)
+    : params_(params),
+      numThreads_(num_threads),
+      intFreeList_(params.physIntRegs,
+                   isa::numArchRegs * num_threads),
+      fpFreeList_(params.physFpRegs, isa::numArchRegs * num_threads),
+      intTags_(params.physIntRegs),
+      fpTags_(params.physFpRegs),
+      intIq_(params.intIqSize),
+      fpIq_(params.fpIqSize),
+      gshare_(params.gshareHistoryBits),
+      btb_(params.btbEntries),
+      memory_(params.memory),
+      threads_(num_threads)
+{
+    if (num_threads < 1)
+        fatal("SmtPipeline: need at least one thread");
+    if (params_.physIntRegs <= isa::numArchRegs * num_threads ||
+        params_.physFpRegs <= isa::numArchRegs * num_threads) {
+        fatal("SmtPipeline: %u threads need more than %u physical "
+              "registers", num_threads,
+              isa::numArchRegs * num_threads);
+    }
+    if (params_.intRfReadPorts < 2 || params_.fpRfReadPorts < 2)
+        fatal("SmtPipeline: at least 2 read ports are required");
+
+    switch (params_.regFileKind) {
+      case RegFileKind::Unlimited:
+      case RegFileKind::Baseline:
+        intRf_ = std::make_unique<regfile::BaselineRegFile>(
+            "intRf", params_.physIntRegs);
+        break;
+      case RegFileKind::ContentAware: {
+        auto ca = std::make_unique<regfile::ContentAwareRegFile>(
+            "intRf", params_.physIntRegs, params_.ca);
+        caRf_ = ca.get();
+        intRf_ = std::move(ca);
+        break;
+      }
+    }
+    fpRf_ = std::make_unique<regfile::BaselineRegFile>(
+        "fpRf", params_.physFpRegs);
+
+    unsigned rob_each = params_.robSize / num_threads;
+    unsigned lsq_each = params_.lsqSize / num_threads;
+    for (unsigned t = 0; t < num_threads; ++t) {
+        Thread &thread = threads_[t];
+        thread.rob = std::make_unique<Rob>(rob_each);
+        thread.lsq = std::make_unique<Lsq>(lsq_each);
+        thread.intRat.resize(isa::numArchRegs);
+        thread.fpRat.resize(isa::numArchRegs);
+        for (unsigned i = 0; i < isa::numArchRegs; ++i) {
+            u32 tag = t * isa::numArchRegs + i;
+            thread.intRat[i] = tag;
+            thread.fpRat[i] = tag;
+            intRf_->write(tag, 0);
+            fpRf_->write(tag, 0);
+        }
+    }
+    intRf_->clearAccessCounts();
+    fpRf_->clearAccessCounts();
+}
+
+SmtPipeline::~SmtPipeline() = default;
+
+bool
+SmtPipeline::predictBranch(unsigned tid, const DynOp &op)
+{
+    Thread &thread = threads_[tid];
+    u64 pc = saltedPc(tid, op.pc);
+    bool correct = true;
+
+    if (isa::isConditionalBranch(op.op)) {
+        ++thread.result.condBranches;
+        bool pred = gshare_.predict(pc);
+        gshare_.update(pc, op.taken);
+        if (pred != op.taken) {
+            correct = false;
+        } else if (op.taken) {
+            u64 target;
+            bool hit = btb_.lookup(pc, target);
+            if (!hit || target != op.nextPc)
+                correct = false;
+        }
+        if (op.taken)
+            btb_.update(pc, op.nextPc);
+        if (!correct)
+            ++thread.result.branchMispredicts;
+        return correct;
+    }
+
+    if (op.op == Opcode::JAL || op.op == Opcode::JALR) {
+        u64 target = 0;
+        bool hit = btb_.lookup(pc, target);
+        correct = hit && target == op.nextPc;
+        btb_.update(pc, op.nextPc);
+        return correct;
+    }
+    return true;
+}
+
+std::vector<unsigned>
+SmtPipeline::icountOrder() const
+{
+    std::vector<unsigned> order(numThreads_);
+    for (unsigned t = 0; t < numThreads_; ++t)
+        order[t] = t;
+    std::stable_sort(order.begin(), order.end(),
+                     [this](unsigned a, unsigned b) {
+                         return threads_[a].iqCount <
+                                threads_[b].iqCount;
+                     });
+    return order;
+}
+
+void
+SmtPipeline::doCommit(Cycle cur)
+{
+    (void)cur;
+    unsigned budget = params_.commitWidth;
+    u64 total_committed = 0;
+    for (unsigned off = 0; off < numThreads_ && budget > 0; ++off) {
+        unsigned tid = (rrCounter_ + off) % numThreads_;
+        Thread &thread = threads_[tid];
+        while (budget > 0 && !thread.rob->empty()) {
+            InFlightInst &head = thread.rob->head();
+            if (head.state != InstState::WrittenBack)
+                break;
+            if (head.hasDest()) {
+                if (head.destIsFp) {
+                    fpRf_->release(head.oldDestTag);
+                    fpFreeList_.release(head.oldDestTag);
+                } else {
+                    intRf_->release(head.oldDestTag);
+                    intFreeList_.release(head.oldDestTag);
+                }
+            }
+            if (head.op.isLoad())
+                thread.lsq->commitLoad();
+            else if (head.op.isStore())
+                thread.lsq->commitStore(head.op.seq);
+            ++thread.result.committedInsts;
+            ++total_committed;
+            thread.rob->popHead();
+            --budget;
+        }
+    }
+    // ROB-interval epochs for the shared Short file are driven by
+    // aggregate commit progress.
+    static_assert(sizeof(total_committed) == 8);
+    if (total_committed > 0) {
+        committedTick_ += total_committed;
+        if (committedTick_ >= params_.robSize) {
+            committedTick_ = 0;
+            intRf_->onRobInterval();
+        }
+    }
+}
+
+void
+SmtPipeline::doWriteback(Cycle cur)
+{
+    unsigned int_ports = params_.intRfWritePorts;
+    unsigned fp_ports = params_.fpRfWritePorts;
+
+    for (unsigned off = 0; off < numThreads_; ++off) {
+        unsigned tid = (rrCounter_ + off) % numThreads_;
+        Thread &thread = threads_[tid];
+        for (InFlightInst &inst : *thread.rob) {
+            if (inst.state != InstState::Issued ||
+                inst.completeCycle > cur) {
+                continue;
+            }
+            if (!inst.hasDest()) {
+                inst.state = InstState::WrittenBack;
+                inst.wbCycle = cur;
+                continue;
+            }
+            if (inst.destIsFp) {
+                if (fp_ports == 0)
+                    continue;
+                fpRf_->write(inst.destTag, inst.op.rdValue);
+                --fp_ports;
+                TagInfo &ti = tagInfo(inst.destTag, true);
+                ti.state = TagInfo::State::Done;
+                ti.rfReadableCycle = cur + 1;
+                inst.state = InstState::WrittenBack;
+                inst.wbCycle = cur;
+                continue;
+            }
+            if (int_ports == 0)
+                continue;
+            regfile::WriteAccess access =
+                intRf_->write(inst.destTag, inst.op.rdValue);
+            if (access.stalled) {
+                if (&inst == &thread.rob->head()) {
+                    access = caRf_->writeForced(inst.destTag,
+                                                inst.op.rdValue);
+                } else {
+                    inst.wbStalledOnLong = true;
+                    continue;
+                }
+            }
+            --int_ports;
+            TagInfo &ti = tagInfo(inst.destTag, false);
+            ti.state = TagInfo::State::Done;
+            ti.rfReadableCycle = cur + params_.intWbStages;
+            inst.state = InstState::WrittenBack;
+            inst.wbCycle = cur;
+        }
+    }
+}
+
+bool
+SmtPipeline::tryIssueOne(Cycle cur, unsigned tid, InFlightInst &inst,
+                         unsigned &int_fu, unsigned &fp_fu,
+                         unsigned &mem_ports, unsigned &int_rd,
+                         unsigned &fp_rd, bool stall_int_writers)
+{
+    Thread &thread = threads_[tid];
+    bool fpq = usesFpQueue(inst.op.op);
+    bool is_load = inst.op.isLoad();
+    bool is_store = inst.op.isStore();
+    bool is_mem = is_load || is_store;
+
+    if (fpq ? fp_fu == 0 : int_fu == 0)
+        return false;
+    if (is_mem && mem_ports == 0)
+        return false;
+    if (stall_int_writers && inst.writesIntDest() &&
+        &inst != &thread.rob->head()) {
+        return false;
+    }
+
+    Cycle exec = cur + params_.regReadStages;
+
+    struct Src
+    {
+        u32 tag;
+        bool isFp;
+        u64 value;
+        bool used;
+    };
+    Src s1{inst.src1Tag, inst.src1IsFp, inst.op.rs1Value,
+           inst.src1Tag != invalidIndex};
+    Src s2{inst.src2Tag, inst.src2IsFp, inst.op.rs2Value,
+           inst.src2Tag != invalidIndex};
+
+    OperandSource so1 = OperandSource::None;
+    OperandSource so2 = OperandSource::None;
+    auto check_src = [&](const Src &s, OperandSource &out) {
+        if (!s.used) {
+            out = OperandSource::None;
+            return true;
+        }
+        const TagInfo &ti =
+            s.isFp ? fpTags_[s.tag] : intTags_[s.tag];
+        if (ti.state == TagInfo::State::Pending)
+            return false;
+        if (exec < ti.completeCycle)
+            return false;
+        unsigned window = s.isFp ? params_.fpBypassWindow()
+                                 : params_.intBypassWindow();
+        if (exec < ti.completeCycle + window) {
+            out = OperandSource::Bypass;
+            return true;
+        }
+        if (ti.state != TagInfo::State::Done ||
+            exec - 1 < ti.rfReadableCycle) {
+            return false;
+        }
+        out = OperandSource::RegFile;
+        return true;
+    };
+    if (!check_src(s1, so1) || !check_src(s2, so2))
+        return false;
+
+    unsigned need_int_rd = 0, need_fp_rd = 0;
+    auto count_port = [&](const Src &s, OperandSource so) {
+        if (so != OperandSource::RegFile)
+            return;
+        (s.isFp ? need_fp_rd : need_int_rd) += 1;
+    };
+    count_port(s1, so1);
+    count_port(s2, so2);
+    if (need_int_rd > int_rd || need_fp_rd > fp_rd)
+        return false;
+
+    Cycle latency = inst.op.info().latency;
+    if (is_load) {
+        Cycle dep_ready = 0;
+        if (!thread.lsq->loadReadyCycle(inst.op.seq, inst.op.effAddr,
+                                        inst.op.info().memBytes,
+                                        dep_ready)) {
+            return false;
+        }
+        if (dep_ready > exec)
+            return false;
+        latency = 1 + memory_.dataAccess(inst.op.effAddr);
+    } else if (is_store) {
+        latency = 1;
+        memory_.dataAccess(inst.op.effAddr);
+    }
+
+    // Commit to issuing.
+    if (fpq)
+        --fp_fu;
+    else
+        --int_fu;
+    if (is_mem)
+        --mem_ports;
+    int_rd -= need_int_rd;
+    fp_rd -= need_fp_rd;
+
+    inst.state = InstState::Issued;
+    inst.issueCycle = cur;
+    inst.completeCycle = exec + latency;
+    (fpq ? fpIq_ : intIq_).remove();
+    --thread.iqCount;
+    --(fpq ? thread.fpIqCount : thread.intIqCount);
+
+    if (inst.hasDest()) {
+        TagInfo &ti = tagInfo(inst.destTag, inst.destIsFp);
+        ti.state = TagInfo::State::Issued;
+        ti.completeCycle = inst.completeCycle;
+        ti.rfReadableCycle = ~Cycle{0};
+    }
+
+    auto consume_src = [&](const Src &s, OperandSource so) {
+        if (!s.used)
+            return;
+        thread.result.bypass.record(so, s.isFp);
+        if (so == OperandSource::RegFile) {
+            regfile::RegisterFile &rf = s.isFp ? *fpRf_ : *intRf_;
+            regfile::ReadAccess read = rf.read(s.tag);
+            if (read.value != s.value) {
+                panic("smt operand mismatch: tid %u seq %llu tag %u",
+                      tid, (unsigned long long)inst.op.seq, s.tag);
+            }
+        }
+    };
+    consume_src(s1, so1);
+    consume_src(s2, so2);
+
+    if (is_mem)
+        intRf_->noteAddress(inst.op.effAddr);
+    if (is_store)
+        thread.lsq->storeIssued(inst.op.seq, inst.completeCycle);
+    if (inst.mispredicted) {
+        thread.fetchResumeCycle = inst.completeCycle;
+        thread.pendingRedirect = false;
+    }
+    return true;
+}
+
+void
+SmtPipeline::doIssue(Cycle cur)
+{
+    unsigned budget = params_.issueWidth;
+    unsigned int_fu = params_.intFuCount;
+    unsigned fp_fu = params_.fpFuCount;
+    unsigned mem_ports = memory_.dl1Ports();
+    unsigned int_rd = params_.intRfReadPorts;
+    unsigned fp_rd = params_.fpRfReadPorts;
+    bool stall_int_writers = intRf_->shouldStallIssue();
+
+    for (unsigned off = 0; off < numThreads_ && budget > 0; ++off) {
+        unsigned tid = (rrCounter_ + off) % numThreads_;
+        for (InFlightInst &inst : *threads_[tid].rob) {
+            if (budget == 0)
+                break;
+            if (inst.state != InstState::Dispatched ||
+                inst.renameCycle >= cur) {
+                continue;
+            }
+            if (tryIssueOne(cur, tid, inst, int_fu, fp_fu, mem_ports,
+                            int_rd, fp_rd, stall_int_writers)) {
+                --budget;
+            }
+        }
+    }
+}
+
+bool
+SmtPipeline::renameOne(Cycle cur, unsigned tid)
+{
+    Thread &thread = threads_[tid];
+    if (thread.fetchBuffer.empty())
+        return false;
+    FetchedInst &fetched = thread.fetchBuffer.front();
+    if (fetched.fetchCycle + params_.frontendDepth > cur)
+        return false;
+    if (thread.rob->full())
+        return false;
+
+    const DynOp &op = fetched.op;
+    const isa::OpInfo &info = isa::opInfo(op.op);
+    bool fpq = usesFpQueue(op.op);
+    IssueQueue &iq = fpq ? fpIq_ : intIq_;
+    if (iq.full())
+        return false;
+    // Per-thread issue-queue share cap: a dependence-limited thread
+    // must not clog the shared scheduler and starve its partners
+    // (each partner keeps at least issue-width slots available).
+    unsigned reserve = params_.issueWidth * (numThreads_ - 1);
+    unsigned cap = iq.capacity() > reserve
+                       ? iq.capacity() - reserve
+                       : 1;
+    if ((fpq ? thread.fpIqCount : thread.intIqCount) >= cap)
+        return false;
+    bool is_mem = op.isLoad() || op.isStore();
+    if (is_mem && thread.lsq->full())
+        return false;
+    bool int_dest = op.writesIntReg();
+    bool fp_dest = op.writesFpReg();
+    if (int_dest && intFreeList_.empty())
+        return false;
+    if (fp_dest && fpFreeList_.empty())
+        return false;
+
+    InFlightInst &inst = thread.rob->push(op);
+    inst.fetchCycle = fetched.fetchCycle;
+    inst.renameCycle = cur;
+    inst.mispredicted = fetched.mispredicted;
+
+    if (info.rs1Class == isa::RegClass::Int) {
+        if (op.rs1 != 0) {
+            inst.src1Tag = thread.intRat[op.rs1];
+            inst.src1IsFp = false;
+        }
+    } else if (info.rs1Class == isa::RegClass::Fp) {
+        inst.src1Tag = thread.fpRat[op.rs1];
+        inst.src1IsFp = true;
+    }
+    if (info.rs2Class == isa::RegClass::Int) {
+        if (op.rs2 != 0) {
+            inst.src2Tag = thread.intRat[op.rs2];
+            inst.src2IsFp = false;
+        }
+    } else if (info.rs2Class == isa::RegClass::Fp) {
+        inst.src2Tag = thread.fpRat[op.rs2];
+        inst.src2IsFp = true;
+    }
+
+    if (int_dest) {
+        inst.oldDestTag = thread.intRat[op.rd];
+        inst.destTag = intFreeList_.allocate();
+        thread.intRat[op.rd] = inst.destTag;
+        inst.destIsFp = false;
+        tagInfo(inst.destTag, false).state = TagInfo::State::Pending;
+    } else if (fp_dest) {
+        inst.oldDestTag = thread.fpRat[op.rd];
+        inst.destTag = fpFreeList_.allocate();
+        thread.fpRat[op.rd] = inst.destTag;
+        inst.destIsFp = true;
+        tagInfo(inst.destTag, true).state = TagInfo::State::Pending;
+    }
+
+    iq.insert();
+    ++thread.iqCount;
+    ++(fpq ? thread.fpIqCount : thread.intIqCount);
+    if (op.isLoad())
+        thread.lsq->dispatchLoad(op.seq);
+    else if (op.isStore())
+        thread.lsq->dispatchStore(op.seq, op.effAddr, info.memBytes);
+
+    thread.fetchBuffer.pop_front();
+    return true;
+}
+
+void
+SmtPipeline::doRename(Cycle cur)
+{
+    unsigned budget = params_.fetchWidth;
+    std::vector<unsigned> order = icountOrder();
+    bool progress = true;
+    while (budget > 0 && progress) {
+        progress = false;
+        for (unsigned off = 0; off < numThreads_ && budget > 0; ++off) {
+            if (renameOne(cur, order[off])) {
+                --budget;
+                progress = true;
+            }
+        }
+    }
+}
+
+void
+SmtPipeline::fetchThread(Cycle cur, unsigned tid, unsigned &budget)
+{
+    Thread &thread = threads_[tid];
+    if (thread.traceExhausted || thread.pendingRedirect ||
+        cur < thread.fetchResumeCycle) {
+        return;
+    }
+    unsigned line_shift = 6;
+    while (budget > 0 && thread.fetchBuffer.size() < fetchBufferCap) {
+        DynOp op;
+        if (thread.pendingFetchValid) {
+            op = thread.pendingFetch;
+            thread.pendingFetchValid = false;
+        } else if (!thread.source->next(op)) {
+            thread.traceExhausted = true;
+            return;
+        }
+
+        u64 line = (saltedPc(tid, op.pc) * instBytes) >> line_shift;
+        if (line != thread.lastFetchLine) {
+            Cycle lat = memory_.instAccess(saltedPc(tid, op.pc) *
+                                           instBytes);
+            thread.lastFetchLine = line;
+            if (lat > params_.memory.il1.hitLatency) {
+                thread.pendingFetch = op;
+                thread.pendingFetchValid = true;
+                thread.lastFetchLine = ~u64{0};
+                thread.fetchResumeCycle = cur + lat;
+                return;
+            }
+        }
+
+        bool is_branch = op.isBranch();
+        bool correct = true;
+        if (is_branch)
+            correct = predictBranch(tid, op);
+        thread.fetchBuffer.push_back({op, cur, !correct});
+        --budget;
+        if (!correct) {
+            thread.pendingRedirect = true;
+            return;
+        }
+        if (is_branch && op.taken)
+            return;
+    }
+}
+
+void
+SmtPipeline::doFetch(Cycle cur)
+{
+    // ICOUNT fetch: the least-clogging thread may use the full
+    // width; leftover slots go to the others.
+    unsigned budget = params_.fetchWidth;
+    std::vector<unsigned> order = icountOrder();
+    for (unsigned off = 0; off < numThreads_ && budget > 0; ++off)
+        fetchThread(cur, order[off], budget);
+}
+
+SmtResult
+SmtPipeline::run(std::vector<emu::TraceSource *> sources,
+                 bool stop_on_first_drain)
+{
+    if (sources.size() != numThreads_)
+        fatal("SmtPipeline::run: %zu sources for %u threads",
+              sources.size(), numThreads_);
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        threads_[t].source = sources[t];
+        threads_[t].result.workload = sources[t]->name();
+        threads_[t].result.config =
+            regFileKindName(params_.regFileKind);
+    }
+
+    Cycle cur = 0;
+    u64 last_total = 0;
+    Cycle last_progress = 0;
+
+    auto should_stop = [&] {
+        bool any_drained = false, all_drained = true;
+        for (const Thread &t : threads_) {
+            bool d = t.drained();
+            any_drained |= d;
+            all_drained &= d;
+        }
+        return stop_on_first_drain ? any_drained : all_drained;
+    };
+
+    while (!should_stop()) {
+        doCommit(cur);
+        doWriteback(cur);
+        doIssue(cur);
+        doRename(cur);
+        doFetch(cur);
+
+        u64 total = 0;
+        for (const Thread &t : threads_)
+            total += t.result.committedInsts;
+        if (total != last_total) {
+            last_total = total;
+            last_progress = cur;
+        } else if (cur - last_progress > watchdogCycles) {
+            panic("smt pipeline: no commit for %llu cycles",
+                  (unsigned long long)watchdogCycles);
+        }
+        rrCounter_ = (rrCounter_ + 1) % numThreads_;
+        ++cur;
+    }
+
+    SmtResult result;
+    result.cycles = cur;
+    for (Thread &thread : threads_) {
+        thread.result.cycles = cur;
+        thread.result.ipc =
+            cur ? static_cast<double>(thread.result.committedInsts) /
+                      cur
+                : 0.0;
+        result.threads.push_back(thread.result);
+    }
+    if (caRf_) {
+        for (auto &t : result.threads) {
+            t.longAllocStalls = caRf_->longAllocStalls();
+            t.recoveries = caRf_->recoveries();
+        }
+    }
+    // Shared-file access counts land on the first thread's record.
+    if (!result.threads.empty())
+        result.threads[0].intRfAccesses = intRf_->accessCounts();
+    return result;
+}
+
+} // namespace carf::core

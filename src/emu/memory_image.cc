@@ -1,0 +1,83 @@
+#include "emu/memory_image.hh"
+
+#include <cstring>
+
+namespace carf::emu
+{
+
+MemoryImage::Page &
+MemoryImage::page(Addr addr)
+{
+    u64 key = addr >> pageShift;
+    auto it = pages_.find(key);
+    if (it == pages_.end()) {
+        auto fresh = std::make_unique<Page>();
+        fresh->fill(0);
+        it = pages_.emplace(key, std::move(fresh)).first;
+    }
+    return *it->second;
+}
+
+const MemoryImage::Page *
+MemoryImage::pageIfPresent(Addr addr) const
+{
+    auto it = pages_.find(addr >> pageShift);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+u8
+MemoryImage::readU8(Addr addr) const
+{
+    const Page *p = pageIfPresent(addr);
+    if (!p)
+        return 0;
+    return (*p)[addr & (pageSize - 1)];
+}
+
+void
+MemoryImage::writeU8(Addr addr, u8 value)
+{
+    page(addr)[addr & (pageSize - 1)] = value;
+}
+
+u64
+MemoryImage::read(Addr addr, unsigned bytes) const
+{
+    u64 value = 0;
+    for (unsigned i = 0; i < bytes; ++i)
+        value |= static_cast<u64>(readU8(addr + i)) << (8 * i);
+    return value;
+}
+
+void
+MemoryImage::write(Addr addr, u64 value, unsigned bytes)
+{
+    for (unsigned i = 0; i < bytes; ++i)
+        writeU8(addr + i, static_cast<u8>(value >> (8 * i)));
+}
+
+double
+MemoryImage::readF64(Addr addr) const
+{
+    u64 raw = readU64(addr);
+    double d;
+    std::memcpy(&d, &raw, sizeof(d));
+    return d;
+}
+
+void
+MemoryImage::writeF64(Addr addr, double value)
+{
+    u64 raw;
+    std::memcpy(&raw, &value, sizeof(raw));
+    writeU64(addr, raw);
+}
+
+void
+MemoryImage::load(Addr base, const std::vector<u8> &bytes)
+{
+    for (size_t i = 0; i < bytes.size(); ++i)
+        writeU8(base + i, bytes[i]);
+}
+
+} // namespace carf::emu

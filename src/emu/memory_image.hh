@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Sparse, page-granular functional memory image.
+ *
+ * Pages are allocated lazily on first touch and zero-filled, so
+ * kernels can use widely separated heap/stack/global regions without
+ * cost. This is the *functional* store; timing is modelled separately
+ * by the cache hierarchy in src/mem.
+ */
+
+#ifndef CARF_EMU_MEMORY_IMAGE_HH
+#define CARF_EMU_MEMORY_IMAGE_HH
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace carf::emu
+{
+
+/** Lazily allocated paged memory with little-endian scalar access. */
+class MemoryImage
+{
+  public:
+    static constexpr unsigned pageShift = 12;
+    static constexpr size_t pageSize = size_t{1} << pageShift;
+
+    u8 readU8(Addr addr) const;
+    void writeU8(Addr addr, u8 value);
+
+    /** Little-endian multi-byte access; may straddle page boundaries. */
+    u64 read(Addr addr, unsigned bytes) const;
+    void write(Addr addr, u64 value, unsigned bytes);
+
+    u64 readU64(Addr addr) const { return read(addr, 8); }
+    void writeU64(Addr addr, u64 value) { write(addr, value, 8); }
+    double readF64(Addr addr) const;
+    void writeF64(Addr addr, double value);
+
+    /** Bulk preload used for program data segments. */
+    void load(Addr base, const std::vector<u8> &bytes);
+
+    /** Number of distinct pages touched (allocated). */
+    size_t pageCount() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<u8, pageSize>;
+
+    Page &page(Addr addr);
+    const Page *pageIfPresent(Addr addr) const;
+
+    std::unordered_map<u64, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace carf::emu
+
+#endif // CARF_EMU_MEMORY_IMAGE_HH

@@ -1,0 +1,8 @@
+#include "emu/trace.hh"
+
+// TraceSource is an interface; DynOp is a plain record. This
+// translation unit exists to anchor the vtable.
+
+namespace carf::emu
+{
+} // namespace carf::emu

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Dynamic instruction records and the streaming trace interface that
+ * connects functional execution (or the synthetic generator) to the
+ * timing simulator and the value oracle.
+ */
+
+#ifndef CARF_EMU_TRACE_HH
+#define CARF_EMU_TRACE_HH
+
+#include "isa/opcode.hh"
+
+namespace carf::emu
+{
+
+/**
+ * One dynamic instruction with its resolved operand and result
+ * values. The timing model replays these in program order; values
+ * flow through the modelled physical register files so the
+ * content-aware classification sees exactly what the machine would.
+ */
+struct DynOp
+{
+    InstSeqNum seq = 0;
+    /** Static instruction index (word-addressed pc). */
+    u64 pc = 0;
+    isa::Opcode op = isa::Opcode::NOP;
+    u8 rd = 0;
+    u8 rs1 = 0;
+    u8 rs2 = 0;
+    /** Resolved source operand values (0 when the operand is unused). */
+    u64 rs1Value = 0;
+    u64 rs2Value = 0;
+    /** Result value, when the op writes a register. */
+    u64 rdValue = 0;
+    /** Effective address for loads/stores. */
+    Addr effAddr = 0;
+    /** Conditional-branch outcome; jumps are always taken. */
+    bool taken = false;
+    /** pc of the next dynamic instruction (the branch target). */
+    u64 nextPc = 0;
+
+    const isa::OpInfo &info() const { return isa::opInfo(op); }
+    bool isLoad() const { return isa::isLoad(op); }
+    bool isStore() const { return isa::isStore(op); }
+    bool isBranch() const { return isa::isBranch(op); }
+    bool writesIntReg() const
+    {
+        return isa::writesIntReg(op) && rd != 0;
+    }
+    bool writesFpReg() const { return isa::writesFpReg(op); }
+    bool writesReg() const { return writesIntReg() || writesFpReg(); }
+};
+
+/**
+ * Pull-based dynamic instruction source. The emulator and the
+ * synthetic generator both implement this; the Simulator consumes it.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next dynamic instruction in program order.
+     * @retval false when the stream is exhausted (program halted or
+     *         instruction budget reached).
+     */
+    virtual bool next(DynOp &out) = 0;
+
+    /** Human-readable source name for reports. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace carf::emu
+
+#endif // CARF_EMU_TRACE_HH

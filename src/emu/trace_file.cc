@@ -1,0 +1,167 @@
+#include "emu/trace_file.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace carf::emu
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'C', 'A', 'R', 'F', 'T', 'R', 'C', '1'};
+
+/** On-disk record layout (host endianness; 64 bytes). */
+struct Record
+{
+    u64 seq;
+    u64 pc;
+    u64 rs1Value;
+    u64 rs2Value;
+    u64 rdValue;
+    u64 effAddr;
+    u64 nextPc;
+    u8 op;
+    u8 rd;
+    u8 rs1;
+    u8 rs2;
+    u8 taken;
+    u8 pad[3];
+};
+static_assert(sizeof(Record) == 64, "trace record layout changed");
+
+Record
+pack(const DynOp &op)
+{
+    Record r{};
+    r.seq = op.seq;
+    r.pc = op.pc;
+    r.rs1Value = op.rs1Value;
+    r.rs2Value = op.rs2Value;
+    r.rdValue = op.rdValue;
+    r.effAddr = op.effAddr;
+    r.nextPc = op.nextPc;
+    r.op = static_cast<u8>(op.op);
+    r.rd = op.rd;
+    r.rs1 = op.rs1;
+    r.rs2 = op.rs2;
+    r.taken = op.taken ? 1 : 0;
+    return r;
+}
+
+DynOp
+unpack(const Record &r)
+{
+    DynOp op;
+    op.seq = r.seq;
+    op.pc = r.pc;
+    op.rs1Value = r.rs1Value;
+    op.rs2Value = r.rs2Value;
+    op.rdValue = r.rdValue;
+    op.effAddr = r.effAddr;
+    op.nextPc = r.nextPc;
+    op.op = static_cast<isa::Opcode>(r.op);
+    op.rd = r.rd;
+    op.rs1 = r.rs1;
+    op.rs2 = r.rs2;
+    op.taken = r.taken != 0;
+    return op;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : path_(path), file_(std::fopen(path.c_str(), "wb"))
+{
+    if (!file_)
+        fatal("TraceWriter: cannot open '%s'", path.c_str());
+    u64 count_placeholder = 0;
+    if (std::fwrite(kMagic, sizeof(kMagic), 1, file_) != 1 ||
+        std::fwrite(&count_placeholder, sizeof(count_placeholder), 1,
+                    file_) != 1) {
+        fatal("TraceWriter: header write failed for '%s'",
+              path.c_str());
+    }
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const DynOp &op)
+{
+    if (!file_)
+        panic("TraceWriter: append after close");
+    Record r = pack(op);
+    if (std::fwrite(&r, sizeof(r), 1, file_) != 1)
+        fatal("TraceWriter: write failed for '%s'", path_.c_str());
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (!file_)
+        return;
+    // Patch the record count into the header.
+    if (std::fseek(file_, sizeof(kMagic), SEEK_SET) != 0 ||
+        std::fwrite(&count_, sizeof(count_), 1, file_) != 1) {
+        fatal("TraceWriter: header patch failed for '%s'",
+              path_.c_str());
+    }
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+u64
+TraceWriter::record(TraceSource &source, const std::string &path)
+{
+    TraceWriter writer(path);
+    DynOp op;
+    while (source.next(op))
+        writer.append(op);
+    writer.close();
+    return writer.recordCount();
+}
+
+TraceReader::TraceReader(const std::string &path, std::string name,
+                         u64 max_insts)
+    : name_(name.empty() ? path : std::move(name)),
+      file_(std::fopen(path.c_str(), "rb")),
+      maxInsts_(max_insts)
+{
+    if (!file_)
+        fatal("TraceReader: cannot open '%s'", path.c_str());
+    char magic[8];
+    if (std::fread(magic, sizeof(magic), 1, file_) != 1 ||
+        std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+        fatal("TraceReader: '%s' is not a CARF trace", path.c_str());
+    }
+    if (std::fread(&total_, sizeof(total_), 1, file_) != 1)
+        fatal("TraceReader: truncated header in '%s'", path.c_str());
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::next(DynOp &out)
+{
+    if (read_ >= total_ || read_ >= maxInsts_)
+        return false;
+    Record r;
+    if (std::fread(&r, sizeof(r), 1, file_) != 1)
+        fatal("TraceReader: truncated record %llu in '%s'",
+              (unsigned long long)read_, name_.c_str());
+    out = unpack(r);
+    ++read_;
+    return true;
+}
+
+} // namespace carf::emu

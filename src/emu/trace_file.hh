@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Binary dynamic-trace files: record a DynOp stream once, replay it
+ * across many configurations without re-emulating.
+ *
+ * Format: a fixed magic/version header followed by packed little-
+ * endian DynOp records. Readers validate the header and refuse
+ * truncated records, so version skew fails loudly.
+ */
+
+#ifndef CARF_EMU_TRACE_FILE_HH
+#define CARF_EMU_TRACE_FILE_HH
+
+#include <cstdio>
+#include <string>
+
+#include "emu/trace.hh"
+
+namespace carf::emu
+{
+
+/** Writes a DynOp stream to a trace file. */
+class TraceWriter
+{
+  public:
+    /** Opens (truncates) @p path; fatal() on I/O errors. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void append(const DynOp &op);
+    u64 recordCount() const { return count_; }
+
+    /** Flush and close; called by the destructor if needed. */
+    void close();
+
+    /** Drain an entire source into @p path; returns records written. */
+    static u64 record(TraceSource &source, const std::string &path);
+
+  private:
+    std::string path_;
+    std::FILE *file_;
+    u64 count_ = 0;
+};
+
+/** Streams DynOps back from a trace file. */
+class TraceReader : public TraceSource
+{
+  public:
+    /**
+     * @param path trace file written by TraceWriter
+     * @param name workload name to report (defaults to the path)
+     * @param max_insts optional cap on replayed records
+     */
+    explicit TraceReader(const std::string &path, std::string name = "",
+                         u64 max_insts = ~u64{0});
+    ~TraceReader() override;
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    bool next(DynOp &out) override;
+    std::string name() const override { return name_; }
+
+    /** Total records in the file (from the header). */
+    u64 recordCount() const { return total_; }
+
+  private:
+    std::string name_;
+    std::FILE *file_;
+    u64 total_ = 0;
+    u64 read_ = 0;
+    u64 maxInsts_;
+};
+
+} // namespace carf::emu
+
+#endif // CARF_EMU_TRACE_FILE_HH

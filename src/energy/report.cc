@@ -1,0 +1,79 @@
+#include "energy/report.hh"
+
+#include <algorithm>
+
+namespace carf::energy
+{
+
+CaGeometry
+caGeometry(unsigned phys_regs, const regfile::ContentAwareParams &params,
+           unsigned read_ports, unsigned write_ports)
+{
+    const regfile::SimilarityParams &sim = params.sim;
+    CaGeometry g;
+    // Simple: RD field (2 bits) + d+n-bit value field, one entry per
+    // physical tag.
+    g.simple = {phys_regs, sim.simpleFieldBits() + 2, read_ports,
+                write_ports};
+    // Short: M entries of the high 64-d-n bits; extra read ports for
+    // the WR1 compares (one per core write port), two write ports for
+    // the address-allocation path.
+    g.shortFile = {sim.shortEntries(), sim.shortEntryBits(),
+                   read_ports + write_ports, 2};
+    // Long: K entries of 64-d-n+m bits.
+    g.longFile = {params.longEntries, params.longEntryBits(), read_ports,
+                  write_ports};
+    return g;
+}
+
+double
+caTotalArea(const RixnerModel &model, const CaGeometry &g)
+{
+    return model.area(g.simple) + model.area(g.shortFile) +
+           model.area(g.longFile);
+}
+
+double
+caMaxAccessTime(const RixnerModel &model, const CaGeometry &g)
+{
+    return std::max({model.accessTime(g.simple),
+                     model.accessTime(g.shortFile),
+                     model.accessTime(g.longFile)});
+}
+
+double
+conventionalEnergy(const RixnerModel &model, const RegFileGeometry &g,
+                   const regfile::AccessCounts &counts)
+{
+    return counts.totalReads() * model.readEnergy(g) +
+           counts.totalWrites() * model.writeEnergy(g);
+}
+
+double
+contentAwareEnergy(const RixnerModel &model, const CaGeometry &g,
+                   const regfile::AccessCounts &counts, u64 short_writes)
+{
+    using regfile::ValueType;
+    auto idx = [](ValueType t) { return static_cast<unsigned>(t); };
+
+    double energy = 0.0;
+    // Every architectural read first reads the Simple entry (RF1).
+    energy += counts.totalReads() * model.readEnergy(g.simple);
+    // RF2 touches the typed sub-file for short/long values.
+    energy += counts.reads[idx(ValueType::Short)] *
+              model.readEnergy(g.shortFile);
+    energy += counts.reads[idx(ValueType::Long)] *
+              model.readEnergy(g.longFile);
+    // Every writeback writes the Simple entry (RD + value field).
+    energy += counts.totalWrites() * model.writeEnergy(g.simple);
+    // Long-typed writebacks write the Long file.
+    energy += counts.writes[idx(ValueType::Long)] *
+              model.writeEnergy(g.longFile);
+    // WR1 classification probes read the Short file.
+    energy += counts.shortProbeReads * model.readEnergy(g.shortFile);
+    // Address-path allocations write the Short file.
+    energy += short_writes * model.writeEnergy(g.shortFile);
+    return energy;
+}
+
+} // namespace carf::energy

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Derived energy/area/time reports for the paper's configurations:
+ * geometry builders for the content-aware sub-files and the combined
+ * per-run energy accounting that multiplies per-access energies by
+ * the simulator's access counts (paper §5).
+ */
+
+#ifndef CARF_ENERGY_REPORT_HH
+#define CARF_ENERGY_REPORT_HH
+
+#include "energy/rixner.hh"
+#include "regfile/content_aware.hh"
+#include "regfile/regfile.hh"
+
+namespace carf::energy
+{
+
+/** Geometries of the three content-aware sub-files. */
+struct CaGeometry
+{
+    RegFileGeometry simple;
+    RegFileGeometry shortFile;
+    RegFileGeometry longFile;
+};
+
+/**
+ * Build sub-file geometries from the content-aware parameters.
+ *
+ * @param phys_regs number of physical tags (Simple file entries)
+ * @param params similarity / sizing parameters
+ * @param read_ports core read ports (baseline: 8)
+ * @param write_ports core write ports (baseline: 6)
+ *
+ * The Short file gets one extra read port per write port (the WR1
+ * comparison probes, §3.2) and two write ports (the load/store
+ * address allocation path).
+ */
+CaGeometry caGeometry(unsigned phys_regs,
+                      const regfile::ContentAwareParams &params,
+                      unsigned read_ports = 8, unsigned write_ports = 6);
+
+/** Total area of the three sub-files. */
+double caTotalArea(const RixnerModel &model, const CaGeometry &g);
+
+/** Slowest sub-file access time (sets the register read stage). */
+double caMaxAccessTime(const RixnerModel &model, const CaGeometry &g);
+
+/**
+ * Total register file energy of a run on a conventional file:
+ * reads x readEnergy + writes x writeEnergy.
+ */
+double conventionalEnergy(const RixnerModel &model,
+                          const RegFileGeometry &g,
+                          const regfile::AccessCounts &counts);
+
+/**
+ * Total register file energy of a run on the content-aware file.
+ * Every read/write touches the Simple file; short/long-typed
+ * accesses additionally touch their sub-file; WR1 classification
+ * probes are charged as Short file reads; Short allocations as Short
+ * file writes.
+ *
+ * @param short_writes Short-file allocation writes (address path)
+ */
+double contentAwareEnergy(const RixnerModel &model, const CaGeometry &g,
+                          const regfile::AccessCounts &counts,
+                          u64 short_writes);
+
+} // namespace carf::energy
+
+#endif // CARF_ENERGY_REPORT_HH

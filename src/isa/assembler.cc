@@ -1,0 +1,127 @@
+#include "isa/assembler.hh"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace carf::isa
+{
+
+void
+Assembler::label(const std::string &name)
+{
+    labels_.emplace_back(name, code_.size());
+}
+
+void
+Assembler::jal(u8 rd, const std::string &target)
+{
+    Instruction inst;
+    inst.op = Opcode::JAL;
+    inst.rd = rd;
+    inst.imm = 0;
+    fixups_.push_back({code_.size(), target});
+    code_.push_back(inst);
+}
+
+void
+Assembler::data(Addr base, std::vector<u8> bytes)
+{
+    data_.push_back({base, std::move(bytes)});
+}
+
+void
+Assembler::dataU64(Addr base, const std::vector<u64> &words)
+{
+    std::vector<u8> bytes(words.size() * 8);
+    std::memcpy(bytes.data(), words.data(), bytes.size());
+    data(base, std::move(bytes));
+}
+
+void
+Assembler::dataF64(Addr base, const std::vector<double> &values)
+{
+    std::vector<u8> bytes(values.size() * 8);
+    std::memcpy(bytes.data(), values.data(), bytes.size());
+    data(base, std::move(bytes));
+}
+
+void
+Assembler::emit3(Opcode op, u8 rd, u8 rs1, u8 rs2)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    inst.rs2 = rs2;
+    code_.push_back(inst);
+}
+
+void
+Assembler::emitImm(Opcode op, u8 rd, u8 rs1, i64 imm)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    inst.imm = imm;
+    code_.push_back(inst);
+}
+
+void
+Assembler::emitStore(Opcode op, u8 src, u8 base, i64 off)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.rs1 = base;
+    inst.rs2 = src;
+    inst.imm = off;
+    code_.push_back(inst);
+}
+
+void
+Assembler::emitBranch(Opcode op, u8 rs1, u8 rs2, const std::string &target)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.rs1 = rs1;
+    inst.rs2 = rs2;
+    fixups_.push_back({code_.size(), target});
+    code_.push_back(inst);
+}
+
+Program
+Assembler::finish()
+{
+    if (finished_)
+        panic("Assembler::finish called twice");
+    finished_ = true;
+
+    std::unordered_map<std::string, size_t> label_map;
+    for (const auto &[name, pc] : labels_) {
+        if (label_map.count(name))
+            fatal("duplicate label '%s'", name.c_str());
+        label_map[name] = pc;
+    }
+
+    for (const Fixup &fix : fixups_) {
+        auto it = label_map.find(fix.target);
+        if (it == label_map.end())
+            fatal("unresolved label '%s'", fix.target.c_str());
+        code_[fix.pc].imm = static_cast<i64>(it->second);
+    }
+
+    Program program;
+    for (const Instruction &inst : code_)
+        program.append(inst);
+    for (const auto &[name, pc] : labels_)
+        program.addLabel(name, pc);
+    for (auto &seg : data_)
+        program.addDataSegment(seg.base, std::move(seg.bytes));
+
+    program.validate();
+    return program;
+}
+
+} // namespace carf::isa

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Fluent in-code assembler for the CARF ISA.
+ *
+ * Workload kernels are written directly against this API:
+ *
+ * @code
+ *   Assembler a;
+ *   a.movi(R1, 0);
+ *   a.label("loop");
+ *   a.addi(R1, R1, 1);
+ *   a.blt(R1, R2, "loop");
+ *   a.halt();
+ *   Program p = a.finish();
+ * @endcode
+ *
+ * Forward label references are recorded as fixups and resolved by
+ * finish(), which also validates the program.
+ */
+
+#ifndef CARF_ISA_ASSEMBLER_HH
+#define CARF_ISA_ASSEMBLER_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace carf::isa
+{
+
+/** Integer register names. R0 is hardwired to zero. */
+enum IntReg : u8
+{
+    R0 = 0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10, R11, R12, R13, R14,
+    R15, R16, R17, R18, R19, R20, R21, R22, R23, R24, R25, R26, R27, R28,
+    R29, R30, R31,
+};
+
+/** Floating-point register names. */
+enum FpReg : u8
+{
+    F0 = 0, F1, F2, F3, F4, F5, F6, F7, F8, F9, F10, F11, F12, F13, F14,
+    F15, F16, F17, F18, F19, F20, F21, F22, F23, F24, F25, F26, F27, F28,
+    F29, F30, F31,
+};
+
+/** Label-resolving instruction stream builder. */
+class Assembler
+{
+  public:
+    /** Bind a label to the next emitted instruction. */
+    void label(const std::string &name);
+
+    // Integer register-register ALU.
+    void add(u8 rd, u8 rs1, u8 rs2) { emit3(Opcode::ADD, rd, rs1, rs2); }
+    void sub(u8 rd, u8 rs1, u8 rs2) { emit3(Opcode::SUB, rd, rs1, rs2); }
+    void and_(u8 rd, u8 rs1, u8 rs2) { emit3(Opcode::AND, rd, rs1, rs2); }
+    void or_(u8 rd, u8 rs1, u8 rs2) { emit3(Opcode::OR, rd, rs1, rs2); }
+    void xor_(u8 rd, u8 rs1, u8 rs2) { emit3(Opcode::XOR, rd, rs1, rs2); }
+    void sll(u8 rd, u8 rs1, u8 rs2) { emit3(Opcode::SLL, rd, rs1, rs2); }
+    void srl(u8 rd, u8 rs1, u8 rs2) { emit3(Opcode::SRL, rd, rs1, rs2); }
+    void sra(u8 rd, u8 rs1, u8 rs2) { emit3(Opcode::SRA, rd, rs1, rs2); }
+    void slt(u8 rd, u8 rs1, u8 rs2) { emit3(Opcode::SLT, rd, rs1, rs2); }
+    void sltu(u8 rd, u8 rs1, u8 rs2) { emit3(Opcode::SLTU, rd, rs1, rs2); }
+    void mul(u8 rd, u8 rs1, u8 rs2) { emit3(Opcode::MUL, rd, rs1, rs2); }
+    void divx(u8 rd, u8 rs1, u8 rs2) { emit3(Opcode::DIVX, rd, rs1, rs2); }
+    void remx(u8 rd, u8 rs1, u8 rs2) { emit3(Opcode::REMX, rd, rs1, rs2); }
+
+    // Integer register-immediate ALU.
+    void addi(u8 rd, u8 rs1, i64 imm) { emitImm(Opcode::ADDI, rd, rs1, imm); }
+    void andi(u8 rd, u8 rs1, i64 imm) { emitImm(Opcode::ANDI, rd, rs1, imm); }
+    void ori(u8 rd, u8 rs1, i64 imm) { emitImm(Opcode::ORI, rd, rs1, imm); }
+    void xori(u8 rd, u8 rs1, i64 imm) { emitImm(Opcode::XORI, rd, rs1, imm); }
+    void slli(u8 rd, u8 rs1, i64 imm) { emitImm(Opcode::SLLI, rd, rs1, imm); }
+    void srli(u8 rd, u8 rs1, i64 imm) { emitImm(Opcode::SRLI, rd, rs1, imm); }
+    void srai(u8 rd, u8 rs1, i64 imm) { emitImm(Opcode::SRAI, rd, rs1, imm); }
+    void slti(u8 rd, u8 rs1, i64 imm) { emitImm(Opcode::SLTI, rd, rs1, imm); }
+    void movi(u8 rd, i64 imm) { emitImm(Opcode::MOVI, rd, 0, imm); }
+    /** rd := rs1 (assembles to addi rd, rs1, 0). */
+    void mov(u8 rd, u8 rs1) { addi(rd, rs1, 0); }
+
+    // Memory. Loads: rd := mem[rs1 + off]. Stores: mem[base + off] := src.
+    void ld(u8 rd, u8 base, i64 off) { emitImm(Opcode::LD, rd, base, off); }
+    void lw(u8 rd, u8 base, i64 off) { emitImm(Opcode::LW, rd, base, off); }
+    void lb(u8 rd, u8 base, i64 off) { emitImm(Opcode::LB, rd, base, off); }
+    void st(u8 src, u8 base, i64 off) { emitStore(Opcode::ST, src, base, off); }
+    void sw(u8 src, u8 base, i64 off) { emitStore(Opcode::SW, src, base, off); }
+    void sb(u8 src, u8 base, i64 off) { emitStore(Opcode::SB, src, base, off); }
+    void fld(u8 frd, u8 base, i64 off) { emitImm(Opcode::FLD, frd, base, off); }
+    void fst(u8 fsrc, u8 base, i64 off)
+    {
+        emitStore(Opcode::FST, fsrc, base, off);
+    }
+
+    // Control flow. Targets are labels (may be forward references).
+    void beq(u8 rs1, u8 rs2, const std::string &target)
+    {
+        emitBranch(Opcode::BEQ, rs1, rs2, target);
+    }
+    void bne(u8 rs1, u8 rs2, const std::string &target)
+    {
+        emitBranch(Opcode::BNE, rs1, rs2, target);
+    }
+    void blt(u8 rs1, u8 rs2, const std::string &target)
+    {
+        emitBranch(Opcode::BLT, rs1, rs2, target);
+    }
+    void bge(u8 rs1, u8 rs2, const std::string &target)
+    {
+        emitBranch(Opcode::BGE, rs1, rs2, target);
+    }
+    void bltu(u8 rs1, u8 rs2, const std::string &target)
+    {
+        emitBranch(Opcode::BLTU, rs1, rs2, target);
+    }
+    void bgeu(u8 rs1, u8 rs2, const std::string &target)
+    {
+        emitBranch(Opcode::BGEU, rs1, rs2, target);
+    }
+    void jal(u8 rd, const std::string &target);
+    void jalr(u8 rd, u8 rs1, i64 off) { emitImm(Opcode::JALR, rd, rs1, off); }
+    /** Unconditional jump (jal with discarded link). */
+    void jmp(const std::string &target) { jal(R0, target); }
+
+    // Floating point.
+    void fadd(u8 frd, u8 frs1, u8 frs2) { emit3(Opcode::FADD, frd, frs1, frs2); }
+    void fsub(u8 frd, u8 frs1, u8 frs2) { emit3(Opcode::FSUB, frd, frs1, frs2); }
+    void fmul(u8 frd, u8 frs1, u8 frs2) { emit3(Opcode::FMUL, frd, frs1, frs2); }
+    void fdiv(u8 frd, u8 frs1, u8 frs2) { emit3(Opcode::FDIV, frd, frs1, frs2); }
+    void fneg(u8 frd, u8 frs1) { emit3(Opcode::FNEG, frd, frs1, 0); }
+    void fcvtif(u8 frd, u8 rs1) { emit3(Opcode::FCVTIF, frd, rs1, 0); }
+    void fcvtfi(u8 rd, u8 frs1) { emit3(Opcode::FCVTFI, rd, frs1, 0); }
+    void fmov(u8 frd, u8 frs1) { emit3(Opcode::FMOV, frd, frs1, 0); }
+
+    void nop() { emit3(Opcode::NOP, 0, 0, 0); }
+    void halt() { emit3(Opcode::HALT, 0, 0, 0); }
+
+    /** Preload raw bytes at a data address. */
+    void data(Addr base, std::vector<u8> bytes);
+    /** Preload 64-bit words at a data address. */
+    void dataU64(Addr base, const std::vector<u64> &words);
+    /** Preload doubles at a data address. */
+    void dataF64(Addr base, const std::vector<double> &values);
+
+    /** Number of instructions emitted so far. */
+    size_t pc() const { return code_.size(); }
+
+    /**
+     * Resolve all pending label references, validate, and return the
+     * program. The assembler must not be reused afterwards.
+     */
+    Program finish();
+
+  private:
+    struct Fixup
+    {
+        size_t pc;
+        std::string target;
+    };
+
+    void emit3(Opcode op, u8 rd, u8 rs1, u8 rs2);
+    void emitImm(Opcode op, u8 rd, u8 rs1, i64 imm);
+    void emitStore(Opcode op, u8 src, u8 base, i64 off);
+    void emitBranch(Opcode op, u8 rs1, u8 rs2, const std::string &target);
+
+    std::vector<Instruction> code_;
+    std::vector<std::pair<std::string, size_t>> labels_;
+    std::vector<Program::DataSegment> data_;
+    std::vector<Fixup> fixups_;
+    bool finished_ = false;
+};
+
+} // namespace carf::isa
+
+#endif // CARF_ISA_ASSEMBLER_HH

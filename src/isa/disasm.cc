@@ -1,0 +1,86 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace carf::isa
+{
+
+namespace
+{
+
+std::string
+regName(RegClass cls, u8 idx)
+{
+    switch (cls) {
+      case RegClass::Int:
+        return "r" + std::to_string(idx);
+      case RegClass::Fp:
+        return "f" + std::to_string(idx);
+      case RegClass::None:
+        return "-";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    const OpInfo &info = inst.info();
+    std::ostringstream os;
+    os << info.mnemonic;
+
+    switch (info.opClass) {
+      case OpClass::Load:
+        os << ' ' << regName(info.rdClass, inst.rd) << ", " << inst.imm
+           << '(' << regName(info.rs1Class, inst.rs1) << ')';
+        break;
+      case OpClass::Store:
+        os << ' ' << regName(info.rs2Class, inst.rs2) << ", " << inst.imm
+           << '(' << regName(info.rs1Class, inst.rs1) << ')';
+        break;
+      case OpClass::Branch:
+        os << ' ' << regName(info.rs1Class, inst.rs1) << ", "
+           << regName(info.rs2Class, inst.rs2) << ", @" << inst.imm;
+        break;
+      case OpClass::Jump:
+        if (inst.op == Opcode::JAL) {
+            os << ' ' << regName(RegClass::Int, inst.rd) << ", @"
+               << inst.imm;
+        } else {
+            os << ' ' << regName(RegClass::Int, inst.rd) << ", "
+               << regName(RegClass::Int, inst.rs1) << ", " << inst.imm;
+        }
+        break;
+      case OpClass::Nop:
+      case OpClass::Halt:
+        break;
+      default:
+        if (info.rdClass != RegClass::None)
+            os << ' ' << regName(info.rdClass, inst.rd);
+        if (info.rs1Class != RegClass::None)
+            os << ", " << regName(info.rs1Class, inst.rs1);
+        if (info.usesImm)
+            os << ", " << inst.imm;
+        else if (info.rs2Class != RegClass::None)
+            os << ", " << regName(info.rs2Class, inst.rs2);
+        break;
+    }
+    return os.str();
+}
+
+std::string
+disassemble(const Program &program)
+{
+    std::ostringstream os;
+    for (size_t pc = 0; pc < program.size(); ++pc) {
+        os << strprintf("%6zu: ", pc) << disassemble(program.at(pc))
+           << '\n';
+    }
+    return os.str();
+}
+
+} // namespace carf::isa

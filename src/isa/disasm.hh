@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Disassembler: renders instructions and programs for diagnostics.
+ */
+
+#ifndef CARF_ISA_DISASM_HH
+#define CARF_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/instruction.hh"
+
+namespace carf::isa
+{
+
+/** Render one instruction, e.g.\ "add r3, r1, r2" or "ld r4, 16(r2)". */
+std::string disassemble(const Instruction &inst);
+
+/** Render a whole program with pc prefixes, one instruction per line. */
+std::string disassemble(const Program &program);
+
+} // namespace carf::isa
+
+#endif // CARF_ISA_DISASM_HH

@@ -1,0 +1,59 @@
+#include "isa/instruction.hh"
+
+#include "common/logging.hh"
+
+namespace carf::isa
+{
+
+void
+Program::addLabel(const std::string &name, size_t pc)
+{
+    if (labels_.count(name))
+        fatal("duplicate label '%s'", name.c_str());
+    labels_[name] = pc;
+}
+
+bool
+Program::hasLabel(const std::string &name) const
+{
+    return labels_.count(name) != 0;
+}
+
+size_t
+Program::labelPc(const std::string &name) const
+{
+    auto it = labels_.find(name);
+    if (it == labels_.end())
+        fatal("unknown label '%s'", name.c_str());
+    return it->second;
+}
+
+void
+Program::addDataSegment(Addr base, std::vector<u8> bytes)
+{
+    data_.push_back({base, std::move(bytes)});
+}
+
+void
+Program::validate() const
+{
+    for (size_t pc = 0; pc < code_.size(); ++pc) {
+        const Instruction &inst = code_[pc];
+        const OpInfo &info = inst.info();
+        if (info.rdClass != RegClass::None && inst.rd >= numArchRegs)
+            fatal("pc %zu: rd %u out of range", pc, inst.rd);
+        if (info.rs1Class != RegClass::None && inst.rs1 >= numArchRegs)
+            fatal("pc %zu: rs1 %u out of range", pc, inst.rs1);
+        if (info.rs2Class != RegClass::None && inst.rs2 >= numArchRegs)
+            fatal("pc %zu: rs2 %u out of range", pc, inst.rs2);
+        if (isBranch(inst.op) && inst.op != Opcode::JALR) {
+            if (inst.imm < 0 ||
+                static_cast<size_t>(inst.imm) >= code_.size()) {
+                fatal("pc %zu: branch target %lld out of range",
+                      pc, static_cast<long long>(inst.imm));
+            }
+        }
+    }
+}
+
+} // namespace carf::isa

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Static instruction representation and the Program container.
+ */
+
+#ifndef CARF_ISA_INSTRUCTION_HH
+#define CARF_ISA_INSTRUCTION_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/opcode.hh"
+
+namespace carf::isa
+{
+
+/**
+ * One static instruction. Register fields are indices within the
+ * register class given by the opcode's OpInfo; unused fields are 0.
+ * Branch/jump targets are absolute instruction indices held in imm.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    u8 rd = 0;
+    u8 rs1 = 0;
+    u8 rs2 = 0;
+    i64 imm = 0;
+
+    const OpInfo &info() const { return opInfo(op); }
+};
+
+/**
+ * An assembled program: code plus named labels (already resolved to
+ * instruction indices by the Assembler) and initial data segments.
+ */
+class Program
+{
+  public:
+    /** A block of bytes to preload into data memory before running. */
+    struct DataSegment
+    {
+        Addr base;
+        std::vector<u8> bytes;
+    };
+
+    void append(const Instruction &inst) { code_.push_back(inst); }
+
+    const std::vector<Instruction> &code() const { return code_; }
+    const Instruction &at(size_t pc) const { return code_.at(pc); }
+    size_t size() const { return code_.size(); }
+
+    void addLabel(const std::string &name, size_t pc);
+    bool hasLabel(const std::string &name) const;
+    size_t labelPc(const std::string &name) const;
+
+    void addDataSegment(Addr base, std::vector<u8> bytes);
+    const std::vector<DataSegment> &dataSegments() const { return data_; }
+
+    /** Validate register indices and branch targets; fatal() on error. */
+    void validate() const;
+
+  private:
+    std::vector<Instruction> code_;
+    std::unordered_map<std::string, size_t> labels_;
+    std::vector<DataSegment> data_;
+};
+
+} // namespace carf::isa
+
+#endif // CARF_ISA_INSTRUCTION_HH

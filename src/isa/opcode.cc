@@ -1,0 +1,84 @@
+#include "isa/opcode.hh"
+
+#include "common/logging.hh"
+
+namespace carf::isa
+{
+
+namespace
+{
+
+constexpr OpInfo kOpTable[] = {
+    // mnemonic  class            rd             rs1            rs2           imm    mem lat
+    {"add",    OpClass::IntAlu, RegClass::Int, RegClass::Int, RegClass::Int, false, 0, 1},
+    {"sub",    OpClass::IntAlu, RegClass::Int, RegClass::Int, RegClass::Int, false, 0, 1},
+    {"and",    OpClass::IntAlu, RegClass::Int, RegClass::Int, RegClass::Int, false, 0, 1},
+    {"or",     OpClass::IntAlu, RegClass::Int, RegClass::Int, RegClass::Int, false, 0, 1},
+    {"xor",    OpClass::IntAlu, RegClass::Int, RegClass::Int, RegClass::Int, false, 0, 1},
+    {"sll",    OpClass::IntAlu, RegClass::Int, RegClass::Int, RegClass::Int, false, 0, 1},
+    {"srl",    OpClass::IntAlu, RegClass::Int, RegClass::Int, RegClass::Int, false, 0, 1},
+    {"sra",    OpClass::IntAlu, RegClass::Int, RegClass::Int, RegClass::Int, false, 0, 1},
+    {"slt",    OpClass::IntAlu, RegClass::Int, RegClass::Int, RegClass::Int, false, 0, 1},
+    {"sltu",   OpClass::IntAlu, RegClass::Int, RegClass::Int, RegClass::Int, false, 0, 1},
+    {"mul",    OpClass::IntMul, RegClass::Int, RegClass::Int, RegClass::Int, false, 0, 3},
+    {"divx",   OpClass::IntDiv, RegClass::Int, RegClass::Int, RegClass::Int, false, 0, 12},
+    {"remx",   OpClass::IntDiv, RegClass::Int, RegClass::Int, RegClass::Int, false, 0, 12},
+    {"addi",   OpClass::IntAlu, RegClass::Int, RegClass::Int, RegClass::None, true, 0, 1},
+    {"andi",   OpClass::IntAlu, RegClass::Int, RegClass::Int, RegClass::None, true, 0, 1},
+    {"ori",    OpClass::IntAlu, RegClass::Int, RegClass::Int, RegClass::None, true, 0, 1},
+    {"xori",   OpClass::IntAlu, RegClass::Int, RegClass::Int, RegClass::None, true, 0, 1},
+    {"slli",   OpClass::IntAlu, RegClass::Int, RegClass::Int, RegClass::None, true, 0, 1},
+    {"srli",   OpClass::IntAlu, RegClass::Int, RegClass::Int, RegClass::None, true, 0, 1},
+    {"srai",   OpClass::IntAlu, RegClass::Int, RegClass::Int, RegClass::None, true, 0, 1},
+    {"slti",   OpClass::IntAlu, RegClass::Int, RegClass::Int, RegClass::None, true, 0, 1},
+    {"movi",   OpClass::IntAlu, RegClass::Int, RegClass::None, RegClass::None, true, 0, 1},
+    {"ld",     OpClass::Load,   RegClass::Int, RegClass::Int, RegClass::None, true, 8, 1},
+    {"lw",     OpClass::Load,   RegClass::Int, RegClass::Int, RegClass::None, true, 4, 1},
+    {"lb",     OpClass::Load,   RegClass::Int, RegClass::Int, RegClass::None, true, 1, 1},
+    {"st",     OpClass::Store,  RegClass::None, RegClass::Int, RegClass::Int, true, 8, 1},
+    {"sw",     OpClass::Store,  RegClass::None, RegClass::Int, RegClass::Int, true, 4, 1},
+    {"sb",     OpClass::Store,  RegClass::None, RegClass::Int, RegClass::Int, true, 1, 1},
+    {"fld",    OpClass::Load,   RegClass::Fp,  RegClass::Int, RegClass::None, true, 8, 1},
+    {"fst",    OpClass::Store,  RegClass::None, RegClass::Int, RegClass::Fp, true, 8, 1},
+    {"beq",    OpClass::Branch, RegClass::None, RegClass::Int, RegClass::Int, true, 0, 1},
+    {"bne",    OpClass::Branch, RegClass::None, RegClass::Int, RegClass::Int, true, 0, 1},
+    {"blt",    OpClass::Branch, RegClass::None, RegClass::Int, RegClass::Int, true, 0, 1},
+    {"bge",    OpClass::Branch, RegClass::None, RegClass::Int, RegClass::Int, true, 0, 1},
+    {"bltu",   OpClass::Branch, RegClass::None, RegClass::Int, RegClass::Int, true, 0, 1},
+    {"bgeu",   OpClass::Branch, RegClass::None, RegClass::Int, RegClass::Int, true, 0, 1},
+    {"jal",    OpClass::Jump,   RegClass::Int, RegClass::None, RegClass::None, true, 0, 1},
+    {"jalr",   OpClass::Jump,   RegClass::Int, RegClass::Int, RegClass::None, true, 0, 1},
+    {"fadd",   OpClass::FpAlu,  RegClass::Fp,  RegClass::Fp,  RegClass::Fp,  false, 0, 2},
+    {"fsub",   OpClass::FpAlu,  RegClass::Fp,  RegClass::Fp,  RegClass::Fp,  false, 0, 2},
+    {"fmul",   OpClass::FpMul,  RegClass::Fp,  RegClass::Fp,  RegClass::Fp,  false, 0, 2},
+    {"fdiv",   OpClass::FpDiv,  RegClass::Fp,  RegClass::Fp,  RegClass::Fp,  false, 0, 12},
+    {"fneg",   OpClass::FpAlu,  RegClass::Fp,  RegClass::Fp,  RegClass::None, false, 0, 2},
+    {"fcvtif", OpClass::FpCvt,  RegClass::Fp,  RegClass::Int, RegClass::None, false, 0, 2},
+    {"fcvtfi", OpClass::FpCvt,  RegClass::Int, RegClass::Fp,  RegClass::None, false, 0, 2},
+    {"fmov",   OpClass::FpAlu,  RegClass::Fp,  RegClass::Fp,  RegClass::None, false, 0, 1},
+    {"nop",    OpClass::Nop,    RegClass::None, RegClass::None, RegClass::None, false, 0, 1},
+    {"halt",   OpClass::Halt,   RegClass::None, RegClass::None, RegClass::None, false, 0, 1},
+};
+
+static_assert(sizeof(kOpTable) / sizeof(kOpTable[0]) ==
+              static_cast<size_t>(Opcode::NumOpcodes),
+              "opcode table out of sync with Opcode enum");
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    auto idx = static_cast<size_t>(op);
+    if (idx >= static_cast<size_t>(Opcode::NumOpcodes))
+        panic("opInfo: bad opcode %zu", idx);
+    return kOpTable[idx];
+}
+
+std::string
+opcodeName(Opcode op)
+{
+    return opInfo(op).mnemonic;
+}
+
+} // namespace carf::isa

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Opcode set and static per-opcode metadata for the CARF RISC ISA.
+ *
+ * The ISA is a 64-bit load/store architecture with 32 integer and 32
+ * floating-point architectural registers. It is deliberately small —
+ * just enough to express realistic integer and numerical kernels whose
+ * dynamic value streams exhibit the partial value locality the paper
+ * studies (addresses, loop counters, flags, hashes, FP payloads).
+ */
+
+#ifndef CARF_ISA_OPCODE_HH
+#define CARF_ISA_OPCODE_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace carf::isa
+{
+
+/** All opcodes. Immediate forms take rs2 := imm. */
+enum class Opcode : u8
+{
+    // Integer ALU, register-register.
+    ADD, SUB, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU, MUL, DIVX, REMX,
+    // Integer ALU, register-immediate.
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI,
+    // 64-bit immediate materialisation (pseudo-op; one cycle).
+    MOVI,
+    // Memory. LD/ST move 8 bytes, LW/SW 4 (sign-extending load),
+    // LB/SB 1. Address is rs1 + imm.
+    LD, LW, LB, ST, SW, SB,
+    // FP memory (64-bit); address from integer rs1 + imm.
+    FLD, FST,
+    // Control. Conditional branches compare rs1 against rs2 and jump
+    // to the absolute instruction index in imm. JAL writes the link
+    // (pc+1) into integer rd; JALR jumps to rs1 + imm.
+    BEQ, BNE, BLT, BGE, BLTU, BGEU, JAL, JALR,
+    // FP arithmetic on fp registers.
+    FADD, FSUB, FMUL, FDIV, FNEG,
+    // Conversions / moves between files.
+    FCVTIF, // fp rd := (double) int rs1
+    FCVTFI, // int rd := (i64) fp rs1
+    FMOV,   // fp rd := fp rs1
+    // Misc.
+    NOP, HALT,
+    NumOpcodes,
+};
+
+/** Broad execution class, used for FU selection and latency. */
+enum class OpClass : u8
+{
+    IntAlu,
+    IntMul,
+    IntDiv,
+    Load,
+    Store,
+    Branch,
+    Jump,
+    FpAlu,
+    FpMul,
+    FpDiv,
+    FpCvt,
+    Nop,
+    Halt,
+};
+
+/** Register file a register operand belongs to. */
+enum class RegClass : u8
+{
+    None,
+    Int,
+    Fp,
+};
+
+/** Static description of one opcode. */
+struct OpInfo
+{
+    const char *mnemonic;
+    OpClass opClass;
+    RegClass rdClass;
+    RegClass rs1Class;
+    RegClass rs2Class;
+    bool usesImm;
+    /** Bytes moved by memory ops; 0 otherwise. */
+    u8 memBytes;
+    /** Result latency in cycles, from issue to completion. */
+    u8 latency;
+};
+
+/** Metadata lookup; valid for every opcode below NumOpcodes. */
+const OpInfo &opInfo(Opcode op);
+
+/** Mnemonic string for diagnostics. */
+std::string opcodeName(Opcode op);
+
+inline bool
+isLoad(Opcode op)
+{
+    return opInfo(op).opClass == OpClass::Load;
+}
+
+inline bool
+isStore(Opcode op)
+{
+    return opInfo(op).opClass == OpClass::Store;
+}
+
+inline bool
+isMem(Opcode op)
+{
+    return isLoad(op) || isStore(op);
+}
+
+inline bool
+isBranch(Opcode op)
+{
+    OpClass c = opInfo(op).opClass;
+    return c == OpClass::Branch || c == OpClass::Jump;
+}
+
+inline bool
+isConditionalBranch(Opcode op)
+{
+    return opInfo(op).opClass == OpClass::Branch;
+}
+
+/** True when the op writes an integer destination register. */
+inline bool
+writesIntReg(Opcode op)
+{
+    return opInfo(op).rdClass == RegClass::Int;
+}
+
+/** True when the op writes an fp destination register. */
+inline bool
+writesFpReg(Opcode op)
+{
+    return opInfo(op).rdClass == RegClass::Fp;
+}
+
+/** Number of architectural registers per class. */
+inline constexpr unsigned numArchRegs = 32;
+
+} // namespace carf::isa
+
+#endif // CARF_ISA_OPCODE_HH

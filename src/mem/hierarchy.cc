@@ -1,0 +1,35 @@
+#include "mem/hierarchy.hh"
+
+namespace carf::mem
+{
+
+Hierarchy::Hierarchy(const HierarchyParams &params)
+    : params_(params), il1_(params.il1), dl1_(params.dl1), l2_(params.l2)
+{
+}
+
+Cycle
+Hierarchy::instAccess(Addr addr)
+{
+    Cycle latency = il1_.params().hitLatency;
+    if (il1_.access(addr))
+        return latency;
+    latency += l2_.params().hitLatency;
+    if (l2_.access(addr))
+        return latency;
+    return latency + params_.memoryLatency;
+}
+
+Cycle
+Hierarchy::dataAccess(Addr addr)
+{
+    Cycle latency = dl1_.params().hitLatency;
+    if (dl1_.access(addr))
+        return latency;
+    latency += l2_.params().hitLatency;
+    if (l2_.access(addr))
+        return latency;
+    return latency + params_.memoryLatency;
+}
+
+} // namespace carf::mem

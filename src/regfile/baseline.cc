@@ -1,0 +1,73 @@
+#include "regfile/baseline.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace carf::regfile
+{
+
+BaselineRegFile::BaselineRegFile(std::string name, unsigned entries)
+    : RegisterFile(std::move(name), entries), file_(entries)
+{
+}
+
+void
+BaselineRegFile::reset()
+{
+    RegisterFile::reset();
+    file_.assign(entries_, Entry{});
+}
+
+ReadAccess
+BaselineRegFile::read(u32 tag)
+{
+    const Entry &e = file_.at(tag);
+    if (!e.live)
+        panic("%s: read of dead tag %u", name_.c_str(), tag);
+    ReadAccess access;
+    access.value = e.value;
+    access.type = peekType(tag);
+    countRead(access.type);
+    return access;
+}
+
+WriteAccess
+BaselineRegFile::write(u32 tag, u64 value)
+{
+    Entry &e = file_.at(tag);
+    e.live = true;
+    e.value = value;
+    WriteAccess access;
+    access.type = peekType(tag);
+    countWrite(access.type);
+    return access;
+}
+
+void
+BaselineRegFile::release(u32 tag)
+{
+    file_.at(tag).live = false;
+}
+
+ValueType
+BaselineRegFile::peekType(u32 tag) const
+{
+    // Without a Short file the taxonomy degenerates to simple/long;
+    // use a 20-bit field (the paper's chosen d+n) for reporting.
+    return fitsSigned(file_.at(tag).value, 20) ? ValueType::Simple
+                                               : ValueType::Long;
+    }
+
+u64
+BaselineRegFile::peekValue(u32 tag) const
+{
+    return file_.at(tag).value;
+}
+
+bool
+BaselineRegFile::peekLive(u32 tag) const
+{
+    return file_.at(tag).live;
+}
+
+} // namespace carf::regfile

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Conventional monolithic N x 64-bit physical register file, used for
+ * both the paper's "unlimited" (160 entries, 16R/8W) and "baseline"
+ * (112 entries, 8R/6W) configurations; port counts live in the core
+ * parameters, not here.
+ *
+ * Values are still *classified* (without a Short file, so only
+ * simple/long) purely for reporting parity; the classification has no
+ * behavioural effect in this model.
+ */
+
+#ifndef CARF_REGFILE_BASELINE_HH
+#define CARF_REGFILE_BASELINE_HH
+
+#include "regfile/regfile.hh"
+
+namespace carf::regfile
+{
+
+/** Flat 64-bit-per-entry register file. */
+class BaselineRegFile : public RegisterFile
+{
+  public:
+    BaselineRegFile(std::string name, unsigned entries);
+
+    void reset() override;
+    ReadAccess read(u32 tag) override;
+    WriteAccess write(u32 tag, u64 value) override;
+    void release(u32 tag) override;
+
+    ValueType peekType(u32 tag) const override;
+    u64 peekValue(u32 tag) const override;
+    bool peekLive(u32 tag) const override;
+
+  private:
+    struct Entry
+    {
+        bool live = false;
+        u64 value = 0;
+    };
+
+    std::vector<Entry> file_;
+};
+
+} // namespace carf::regfile
+
+#endif // CARF_REGFILE_BASELINE_HH

@@ -1,0 +1,246 @@
+#include "regfile/content_aware.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace carf::regfile
+{
+
+unsigned
+ContentAwareParams::longPointerBits() const
+{
+    return log2Ceil(longEntries);
+}
+
+unsigned
+ContentAwareParams::longEntryBits() const
+{
+    return 64 - sim.d - sim.n + longPointerBits();
+}
+
+void
+ContentAwareParams::validate() const
+{
+    sim.validate();
+    if (longEntries < 1)
+        fatal("ContentAwareParams: need at least one Long entry");
+    if (longPointerBits() > sim.simpleFieldBits()) {
+        fatal("ContentAwareParams: long pointer (%u bits) does not fit "
+              "the simple value field (%u bits)",
+              longPointerBits(), sim.simpleFieldBits());
+    }
+}
+
+ContentAwareRegFile::ContentAwareRegFile(std::string name, unsigned entries,
+                                         const ContentAwareParams &params)
+    : RegisterFile(std::move(name), entries),
+      params_(params),
+      shortFile_(params.sim, params.associativeShort),
+      file_(entries),
+      longFile_(params.longEntries, 0),
+      longAllocStalls_(stats_.addCounter("longAllocStalls",
+          "writebacks delayed by Long file exhaustion")),
+      recoveries_(stats_.addCounter("recoveries",
+          "pseudo-deadlock recoveries (forced Long allocations)")),
+      shortAllocAttempts_(stats_.addCounter("shortAllocAttempts",
+          "address-path Short allocation attempts")),
+      shortAllocHits_(stats_.addCounter("shortAllocHits",
+          "address-path Short allocations that found/placed a group"))
+{
+    params_.validate();
+    freeLong_.reserve(params_.longEntries);
+    for (u32 i = 0; i < params_.longEntries; ++i)
+        freeLong_.push_back(params_.longEntries - 1 - i);
+}
+
+void
+ContentAwareRegFile::reset()
+{
+    RegisterFile::reset();
+    shortFile_ = ShortFile(params_.sim, params_.associativeShort);
+    file_.assign(entries_, Entry{});
+    longFile_.assign(params_.longEntries, 0);
+    freeLong_.clear();
+    for (u32 i = 0; i < params_.longEntries; ++i)
+        freeLong_.push_back(params_.longEntries - 1 - i);
+}
+
+u64
+ContentAwareRegFile::reconstruct(const Entry &entry) const
+{
+    const SimilarityParams &sim = params_.sim;
+    unsigned field_bits = sim.simpleFieldBits();
+    switch (entry.type) {
+      case ValueType::Simple:
+        return signExtend(entry.valueField, field_bits);
+      case ValueType::Short:
+        return (shortFile_.tag(entry.subIndex) << field_bits) |
+               entry.valueField;
+      case ValueType::Long: {
+        unsigned low_bits = field_bits - params_.longPointerBits();
+        u64 high = longFile_[entry.subIndex];
+        return low_bits == 0 ? high : (high << low_bits) | entry.valueField;
+      }
+    }
+    panic("ContentAwareRegFile: bad entry type");
+}
+
+ReadAccess
+ContentAwareRegFile::read(u32 tag)
+{
+    const Entry &entry = file_.at(tag);
+    if (!entry.live)
+        panic("%s: read of dead tag %u", name_.c_str(), tag);
+    ReadAccess access;
+    access.type = entry.type;
+    access.value = reconstruct(entry);
+    countRead(entry.type);
+    return access;
+}
+
+WriteAccess
+ContentAwareRegFile::write(u32 tag, u64 value)
+{
+    return writeImpl(tag, value, false);
+}
+
+WriteAccess
+ContentAwareRegFile::writeForced(u32 tag, u64 value)
+{
+    return writeImpl(tag, value, true);
+}
+
+WriteAccess
+ContentAwareRegFile::writeImpl(u32 tag, u64 value, bool forced)
+{
+    Entry &entry = file_.at(tag);
+    if (entry.live)
+        panic("%s: double write of tag %u", name_.c_str(), tag);
+
+    const SimilarityParams &sim = params_.sim;
+
+    if (params_.allocShortOnAnyResult)
+        shortFile_.tryAllocate(value);
+
+    unsigned short_idx = 0;
+    ValueType type = classifyValue(value, sim, shortFile_, short_idx);
+
+    WriteAccess access;
+    access.type = type;
+
+    switch (type) {
+      case ValueType::Simple:
+        entry.valueField = bits(value, 0, sim.simpleFieldBits());
+        entry.subIndex = 0;
+        break;
+      case ValueType::Short:
+        entry.valueField = bits(value, 0, sim.simpleFieldBits());
+        entry.subIndex = short_idx;
+        shortFile_.addRef(short_idx);
+        shortFile_.touch(short_idx);
+        break;
+      case ValueType::Long: {
+        if (freeLong_.empty()) {
+            if (!forced) {
+                ++longAllocStalls_;
+                access.stalled = true;
+                return access;
+            }
+            // Pseudo-deadlock recovery: grow an emergency overflow
+            // entry. Real hardware stalls and drains; the overflow
+            // entry stands in for the entry freed by that drain.
+            ++recoveries_;
+            freeLong_.push_back(static_cast<u32>(longFile_.size()));
+            longFile_.push_back(0);
+        }
+        u32 long_idx = freeLong_.back();
+        freeLong_.pop_back();
+        unsigned low_bits =
+            sim.simpleFieldBits() - params_.longPointerBits();
+        longFile_[long_idx] = value >> low_bits;
+        entry.valueField =
+            low_bits == 0 ? 0 : bits(value, 0, low_bits);
+        entry.subIndex = long_idx;
+        break;
+      }
+    }
+
+    entry.live = true;
+    entry.type = type;
+    countWrite(type);
+    // WR1 probes the Short file once per integer writeback (the
+    // classification compare); counted for the energy model.
+    ++counts_.shortProbeReads;
+
+    u64 check = reconstruct(entry);
+    if (check != value) {
+        panic("%s: reconstruction mismatch tag %u type %s: "
+              "wrote %llx read %llx", name_.c_str(), tag,
+              valueTypeName(type), (unsigned long long)value,
+              (unsigned long long)check);
+    }
+    return access;
+}
+
+void
+ContentAwareRegFile::release(u32 tag)
+{
+    Entry &entry = file_.at(tag);
+    if (!entry.live)
+        return;
+    switch (entry.type) {
+      case ValueType::Simple:
+        break;
+      case ValueType::Short:
+        shortFile_.dropRef(entry.subIndex);
+        break;
+      case ValueType::Long:
+        // Overflow entries created by pseudo-deadlock recovery retire
+        // permanently; only real Long file entries return to the free
+        // list, so recovery never inflates the modelled capacity.
+        if (entry.subIndex < params_.longEntries)
+            freeLong_.push_back(entry.subIndex);
+        break;
+    }
+    entry.live = false;
+}
+
+void
+ContentAwareRegFile::noteAddress(u64 addr)
+{
+    ++shortAllocAttempts_;
+    if (shortFile_.tryAllocate(addr))
+        ++shortAllocHits_;
+}
+
+bool
+ContentAwareRegFile::shouldStallIssue() const
+{
+    return freeLong_.size() <= params_.issueStallThreshold;
+}
+
+void
+ContentAwareRegFile::onRobInterval()
+{
+    shortFile_.robIntervalTick();
+}
+
+ValueType
+ContentAwareRegFile::peekType(u32 tag) const
+{
+    return file_.at(tag).type;
+}
+
+u64
+ContentAwareRegFile::peekValue(u32 tag) const
+{
+    return reconstruct(file_.at(tag));
+}
+
+bool
+ContentAwareRegFile::peekLive(u32 tag) const
+{
+    return file_.at(tag).live;
+}
+
+} // namespace carf::regfile

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The content-aware integer register file (paper §3).
+ *
+ * An N-entry Simple file (one entry per physical tag: 2-bit RD field
+ * plus a d+n-bit value field), an M=2^n-entry Short file holding the
+ * shared high-order bits of short value groups, and a K-entry Long
+ * file for values that are neither simple nor short. Reads
+ * reconstruct the 64-bit value from the sub-file fields — the model
+ * stores no shadow copy of the full value, so the bit plumbing is
+ * exercised for real.
+ */
+
+#ifndef CARF_REGFILE_CONTENT_AWARE_HH
+#define CARF_REGFILE_CONTENT_AWARE_HH
+
+#include "regfile/regfile.hh"
+
+namespace carf::regfile
+{
+
+/** Configuration of the content-aware organization. */
+struct ContentAwareParams
+{
+    SimilarityParams sim;
+    /** Long file entries (K). */
+    unsigned longEntries = 48;
+    /**
+     * Stall issue of integer-writing instructions when the number of
+     * free Long entries drops to this threshold (§3.2 recommends the
+     * issue width).
+     */
+    unsigned issueStallThreshold = 8;
+    /** Ablation: fully-associative Short file instead of indexed. */
+    bool associativeShort = false;
+    /**
+     * Ablation: try to allocate a Short entry for *every* integer
+     * result instead of only load/store addresses (the paper reports
+     * this thrashes the Short file).
+     */
+    bool allocShortOnAnyResult = false;
+
+    /** Pointer width into the Long file (m = ceil(log2 K)). */
+    unsigned longPointerBits() const;
+    /** Width of a Long file entry: 64-d-n+m. */
+    unsigned longEntryBits() const;
+
+    void validate() const;
+};
+
+/** Three-sub-file register file with content-typed entries. */
+class ContentAwareRegFile : public RegisterFile
+{
+  public:
+    ContentAwareRegFile(std::string name, unsigned entries,
+                        const ContentAwareParams &params);
+
+    void reset() override;
+    ReadAccess read(u32 tag) override;
+    WriteAccess write(u32 tag, u64 value) override;
+    void release(u32 tag) override;
+    void noteAddress(u64 addr) override;
+    bool shouldStallIssue() const override;
+    void onRobInterval() override;
+
+    ValueType peekType(u32 tag) const override;
+    u64 peekValue(u32 tag) const override;
+    bool peekLive(u32 tag) const override;
+
+    /**
+     * Pseudo-deadlock recovery (§3.2): complete a stalled Long write
+     * by allocating from an emergency overflow pool. The core calls
+     * this when the ROB head cannot write back for lack of a free
+     * Long entry and no commit can make progress.
+     */
+    WriteAccess writeForced(u32 tag, u64 value);
+
+    /** Classify @p value against current state, with no side effects. */
+    ValueType classifyPeek(u64 value) const
+    {
+        unsigned idx = 0;
+        return classifyValue(value, params_.sim, shortFile_, idx);
+    }
+
+    unsigned freeLongEntries() const
+    {
+        return static_cast<unsigned>(freeLong_.size());
+    }
+    unsigned liveLongEntries() const;
+    unsigned liveShortEntries() const { return shortFile_.liveEntries(); }
+    const ContentAwareParams &params() const { return params_; }
+    const ShortFile &shortFile() const { return shortFile_; }
+
+    u64 longAllocStalls() const { return longAllocStalls_.value(); }
+    u64 recoveries() const { return recoveries_.value(); }
+
+  private:
+    struct Entry
+    {
+        bool live = false;
+        ValueType type = ValueType::Simple;
+        /** Low d+n bits for simple/short; low d+n-m bits for long. */
+        u64 valueField = 0;
+        /** Short file index (short) or Long file index (long). */
+        unsigned subIndex = 0;
+    };
+
+    WriteAccess writeImpl(u32 tag, u64 value, bool forced);
+    u64 reconstruct(const Entry &entry) const;
+
+    ContentAwareParams params_;
+    ShortFile shortFile_;
+    std::vector<Entry> file_;
+    /** Long entry values, indexed by long index (may grow on recovery). */
+    std::vector<u64> longFile_;
+    std::vector<u32> freeLong_;
+
+    stats::Counter &longAllocStalls_;
+    stats::Counter &recoveries_;
+    stats::Counter &shortAllocAttempts_;
+    stats::Counter &shortAllocHits_;
+};
+
+} // namespace carf::regfile
+
+#endif // CARF_REGFILE_CONTENT_AWARE_HH

@@ -1,0 +1,18 @@
+#include "regfile/regfile.hh"
+
+namespace carf::regfile
+{
+
+RegisterFile::RegisterFile(std::string name, unsigned entries)
+    : name_(std::move(name)), entries_(entries), stats_(name_)
+{
+}
+
+void
+RegisterFile::reset()
+{
+    counts_ = AccessCounts{};
+    stats_.resetAll();
+}
+
+} // namespace carf::regfile

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Abstract integer physical register file model.
+ *
+ * The out-of-order core interacts with the register file through this
+ * interface: physical tags are allocated/freed by rename/commit, while
+ * the model tracks per-tag contents, classifies values, arbitrates
+ * internal structures, and counts accesses for the energy model.
+ */
+
+#ifndef CARF_REGFILE_REGFILE_HH
+#define CARF_REGFILE_REGFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "regfile/value_class.hh"
+
+namespace carf::regfile
+{
+
+/** Result of a register-file read access. */
+struct ReadAccess
+{
+    /** The 64-bit value reconstructed from the sub-files. */
+    u64 value = 0;
+    /** Content type of the accessed register. */
+    ValueType type = ValueType::Long;
+};
+
+/** Result of a register-file write access. */
+struct WriteAccess
+{
+    ValueType type = ValueType::Long;
+    /**
+     * True when the write could not complete this cycle (no free Long
+     * entry); the writeback must retry. Never set by the baseline.
+     */
+    bool stalled = false;
+};
+
+/** Per-type access counters shared by all models. */
+struct AccessCounts
+{
+    u64 reads[3] = {0, 0, 0};
+    u64 writes[3] = {0, 0, 0};
+    /** WR1 short-file probe reads (content-aware only). */
+    u64 shortProbeReads = 0;
+
+    u64 totalReads() const { return reads[0] + reads[1] + reads[2]; }
+    u64 totalWrites() const { return writes[0] + writes[1] + writes[2]; }
+};
+
+/**
+ * Integer physical register file model. Tags are dense indices in
+ * [0, entries). The pipeline guarantees: write(tag) before any
+ * read(tag); release(tag) only after the tag's value is dead.
+ */
+class RegisterFile
+{
+  public:
+    RegisterFile(std::string name, unsigned entries);
+    virtual ~RegisterFile() = default;
+
+    unsigned entries() const { return entries_; }
+    const std::string &name() const { return name_; }
+
+    /** Reset all content state and statistics. */
+    virtual void reset();
+
+    /** Read the value held by @p tag (counts one access). */
+    virtual ReadAccess read(u32 tag) = 0;
+
+    /**
+     * Write @p value into @p tag at writeback (counts one access).
+     * May stall (content-aware Long allocation).
+     */
+    virtual WriteAccess write(u32 tag, u64 value) = 0;
+
+    /** Tag freed (previous mapping released at commit). */
+    virtual void release(u32 tag) = 0;
+
+    /**
+     * A load/store computed effective address @p addr (executed in
+     * parallel with the ALU stage); used by the content-aware model
+     * to populate the Short file. No-op for the baseline.
+     */
+    virtual void noteAddress(u64 addr) { (void)addr; }
+
+    /**
+     * Should the core stall issue of integer-writing instructions
+     * (free-Long threshold, §3.2)?
+     */
+    virtual bool shouldStallIssue() const { return false; }
+
+    /** Called once per ROB interval (ROB-size commits). */
+    virtual void onRobInterval() {}
+
+    /** Peek at a tag's current content type (no access counted). */
+    virtual ValueType peekType(u32 tag) const = 0;
+    /** Peek at a tag's value (no access counted). */
+    virtual u64 peekValue(u32 tag) const = 0;
+    /** True when the tag currently holds a written, live value. */
+    virtual bool peekLive(u32 tag) const = 0;
+
+    const AccessCounts &accessCounts() const { return counts_; }
+    /** Zero the access counters (e.g.\ after warm-up writes). */
+    void clearAccessCounts() { counts_ = AccessCounts{}; }
+    stats::StatGroup &statGroup() { return stats_; }
+
+  protected:
+    void countRead(ValueType type)
+    {
+        ++counts_.reads[static_cast<unsigned>(type)];
+    }
+    void countWrite(ValueType type)
+    {
+        ++counts_.writes[static_cast<unsigned>(type)];
+    }
+
+    std::string name_;
+    unsigned entries_;
+    AccessCounts counts_;
+    stats::StatGroup stats_;
+};
+
+} // namespace carf::regfile
+
+#endif // CARF_REGFILE_REGFILE_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Value taxonomy of the content-aware register file (paper §2-§3).
+ *
+ * Given the similarity parameters d and n (the Simple file's value
+ * field is d+n bits wide):
+ *
+ *  - a value is **simple** when it sign-extends from its low d+n bits
+ *    (its high 64-d-n bits are all zeros or all ones);
+ *  - a value is **short** when the Short file entry selected by bits
+ *    [d, d+n) of the value holds its high 64-d-n bits (i.e.\ it is
+ *    (64-d)-similar to a resident value group);
+ *  - everything else is **long**.
+ *
+ * The ShortFile here is the direct-mapped structure from §3.1; a
+ * fully-associative variant (§4, rejected by the paper on energy
+ * grounds) is provided for the ablation study.
+ */
+
+#ifndef CARF_REGFILE_VALUE_CLASS_HH
+#define CARF_REGFILE_VALUE_CLASS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace carf::regfile
+{
+
+/** Content type of a register value (the 2-bit RD field). */
+enum class ValueType : u8
+{
+    Simple,
+    Short,
+    Long,
+};
+
+const char *valueTypeName(ValueType type);
+
+/** Similarity / geometry parameters of the content-aware file. */
+struct SimilarityParams
+{
+    /** Low bits in which (64-d)-similar values may differ. */
+    unsigned d = 17;
+    /** log2 of the Short file size; index bits. */
+    unsigned n = 3;
+
+    /** Width of the Simple value field. */
+    unsigned simpleFieldBits() const { return d + n; }
+    /** Width of a Short file entry. */
+    unsigned shortEntryBits() const { return 64 - d - n; }
+    /** Number of Short file entries. */
+    unsigned shortEntries() const { return 1u << n; }
+
+    /** Short-file index of @p value: bits [d, d+n). */
+    unsigned shortIndex(u64 value) const;
+    /** High-order field stored in a Short entry: bits [d+n, 64). */
+    u64 shortTag(u64 value) const;
+    /** True when @p value sign-extends from its low d+n bits. */
+    bool isSimple(u64 value) const;
+
+    /** Validate ranges (d+n <= 32 or so); fatal() on nonsense. */
+    void validate() const;
+};
+
+/**
+ * The Short register file: M entries holding the shared high-order
+ * bits of short value groups, plus the Tcur/Told reference bits and
+ * live-reference counts that drive entry reclamation (§3.2).
+ */
+class ShortFile
+{
+  public:
+    ShortFile(const SimilarityParams &params, bool associative = false);
+
+    /**
+     * Does any entry hold the high bits of @p value?
+     * @param idx_out filled with the matching entry index on success
+     */
+    bool lookup(u64 value, unsigned &idx_out) const;
+
+    /**
+     * Try to allocate an entry for @p value (LD/ST address path).
+     * Direct-mapped: only the indexed slot is eligible, and only if
+     * free. Associative: any free slot. No-op if already resident.
+     * @retval true when the value's group is resident after the call
+     */
+    bool tryAllocate(u64 value);
+
+    /** A short-typed result referenced entry @p idx (sets Tcur). */
+    void touch(unsigned idx);
+
+    /** Live physical registers started/stopped referencing @p idx. */
+    void addRef(unsigned idx);
+    void dropRef(unsigned idx);
+
+    /**
+     * ROB-interval epoch (§3.2): Told <- Tcur | (refs live), clear
+     * Tcur, then reclaim entries with no liveness in either epoch and
+     * no live references.
+     */
+    void robIntervalTick();
+
+    unsigned entries() const { return static_cast<unsigned>(slots_.size()); }
+    bool valid(unsigned idx) const { return slots_.at(idx).valid; }
+    /**
+     * Canonical (64-d-n)-bit high field of the group in entry
+     * @p idx, in both direct-mapped and associative modes.
+     */
+    u64 tag(unsigned idx) const;
+    unsigned refCount(unsigned idx) const { return slots_.at(idx).refs; }
+    unsigned liveEntries() const;
+
+    u64 allocations() const { return allocations_; }
+    u64 reclamations() const { return reclamations_; }
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        u64 tag = 0;
+        unsigned refs = 0;
+        bool tcur = false;
+        bool told = false;
+    };
+
+    SimilarityParams params_;
+    bool associative_;
+    std::vector<Slot> slots_;
+    u64 allocations_ = 0;
+    u64 reclamations_ = 0;
+};
+
+/**
+ * Classify @p value against the current Short file contents.
+ * Precedence: simple, then short, then long (§3.2 WR1).
+ *
+ * @param short_idx filled with the matching Short entry for
+ *        ValueType::Short results
+ */
+ValueType classifyValue(u64 value, const SimilarityParams &params,
+                        const ShortFile &short_file, unsigned &short_idx);
+
+} // namespace carf::regfile
+
+#endif // CARF_REGFILE_VALUE_CLASS_HH

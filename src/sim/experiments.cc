@@ -1,0 +1,133 @@
+#include "sim/experiments.hh"
+
+#include "common/logging.hh"
+
+namespace carf::sim
+{
+
+double
+SuiteRun::meanIpc() const
+{
+    if (results.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : results)
+        sum += r.ipc;
+    return sum / results.size();
+}
+
+regfile::AccessCounts
+SuiteRun::totalAccesses() const
+{
+    regfile::AccessCounts total;
+    for (const auto &r : results) {
+        for (unsigned t = 0; t < 3; ++t) {
+            total.reads[t] += r.intRfAccesses.reads[t];
+            total.writes[t] += r.intRfAccesses.writes[t];
+        }
+        total.shortProbeReads += r.intRfAccesses.shortProbeReads;
+    }
+    return total;
+}
+
+u64
+SuiteRun::totalShortWrites() const
+{
+    u64 total = 0;
+    for (const auto &r : results)
+        total += r.shortFileWrites;
+    return total;
+}
+
+double
+SuiteRun::bypassFraction() const
+{
+    u64 bypassed = 0, from_rf = 0;
+    for (const auto &r : results) {
+        bypassed += r.bypass.totalBypassed();
+        from_rf += r.bypass.totalRegFile();
+    }
+    u64 total = bypassed + from_rf;
+    return total ? static_cast<double>(bypassed) / total : 0.0;
+}
+
+core::OperandMix
+SuiteRun::totalOperandMix() const
+{
+    core::OperandMix mix;
+    for (const auto &r : results) {
+        for (unsigned b = 0; b < core::OperandMix::NumBuckets; ++b)
+            mix.counts[b] += r.operandMix.counts[b];
+    }
+    return mix;
+}
+
+core::ClusterStats
+SuiteRun::totalClusterStats() const
+{
+    core::ClusterStats total;
+    for (const auto &r : results) {
+        total.localOperands += r.cluster.localOperands;
+        total.crossOperands += r.cluster.crossOperands;
+    }
+    return total;
+}
+
+u64
+SuiteRun::totalRecoveries() const
+{
+    u64 total = 0;
+    for (const auto &r : results)
+        total += r.recoveries;
+    return total;
+}
+
+u64
+SuiteRun::totalLongAllocStalls() const
+{
+    u64 total = 0;
+    for (const auto &r : results)
+        total += r.longAllocStalls;
+    return total;
+}
+
+double
+SuiteRun::meanAvgLiveLong() const
+{
+    if (results.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : results)
+        sum += r.avgLiveLong;
+    return sum / results.size();
+}
+
+SuiteRun
+runSuite(const std::vector<workloads::Workload> &suite,
+         const core::CoreParams &params, const SimOptions &options)
+{
+    SuiteRun run;
+    run.results.reserve(suite.size());
+    for (const auto &workload : suite)
+        run.results.push_back(simulate(workload, params, options));
+    return run;
+}
+
+double
+meanRelativeIpc(const SuiteRun &test, const SuiteRun &reference)
+{
+    if (test.results.size() != reference.results.size())
+        fatal("meanRelativeIpc: mismatched suites (%zu vs %zu)",
+              test.results.size(), reference.results.size());
+    if (test.results.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (size_t i = 0; i < test.results.size(); ++i) {
+        if (test.results[i].workload != reference.results[i].workload)
+            fatal("meanRelativeIpc: workload order mismatch at %zu", i);
+        sum += test.results[i].ipc / reference.results[i].ipc;
+    }
+    return sum / test.results.size();
+}
+
+} // namespace carf::sim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Suite-level experiment helpers: run a configuration over a whole
+ * workload suite and aggregate the metrics the paper reports.
+ */
+
+#ifndef CARF_SIM_EXPERIMENTS_HH
+#define CARF_SIM_EXPERIMENTS_HH
+
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace carf::sim
+{
+
+/** Results of one configuration across one suite. */
+struct SuiteRun
+{
+    std::vector<core::RunResult> results;
+
+    /** Arithmetic mean of per-workload IPC. */
+    double meanIpc() const;
+    /** Summed integer register file access counts. */
+    regfile::AccessCounts totalAccesses() const;
+    u64 totalShortWrites() const;
+    /** Operand-bypass fraction over all operands in the suite. */
+    double bypassFraction() const;
+    /** Summed operand-mix buckets (Table 4). */
+    core::OperandMix totalOperandMix() const;
+    /** Summed §6 clustering-communication estimate. */
+    core::ClusterStats totalClusterStats() const;
+    u64 totalRecoveries() const;
+    u64 totalLongAllocStalls() const;
+    double meanAvgLiveLong() const;
+};
+
+/** Simulate every workload in @p suite under @p params. */
+SuiteRun runSuite(const std::vector<workloads::Workload> &suite,
+                  const core::CoreParams &params,
+                  const SimOptions &options = {});
+
+/**
+ * Mean of per-workload IPC ratios test/reference (the paper's
+ * "average relative IPC"). The two runs must cover the same suite in
+ * the same order.
+ */
+double meanRelativeIpc(const SuiteRun &test, const SuiteRun &reference);
+
+} // namespace carf::sim
+
+#endif // CARF_SIM_EXPERIMENTS_HH

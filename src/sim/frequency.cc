@@ -1,0 +1,23 @@
+#include "sim/frequency.hh"
+
+#include "common/logging.hh"
+
+namespace carf::sim
+{
+
+double
+potentialFrequencyGain(double baseline_time, double ca_time)
+{
+    if (ca_time <= 0.0 || baseline_time <= 0.0)
+        fatal("potentialFrequencyGain: non-positive access time");
+    double gain = baseline_time / ca_time - 1.0;
+    return gain > 0.0 ? gain : 0.0;
+}
+
+double
+frequencyScaledSpeedup(double relative_ipc, double freq_gain)
+{
+    return relative_ipc * (1.0 + freq_gain) - 1.0;
+}
+
+} // namespace carf::sim

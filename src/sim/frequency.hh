@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Frequency-scaling speed-up estimation (paper §5): if the slower of
+ * the content-aware sub-files is faster than the baseline file, the
+ * clock may be raised and the small IPC loss turns into a speed-up.
+ */
+
+#ifndef CARF_SIM_FREQUENCY_HH
+#define CARF_SIM_FREQUENCY_HH
+
+namespace carf::sim
+{
+
+/**
+ * Potential clock frequency gain from an access-time reduction,
+ * assuming the register file sets the critical path.
+ *
+ * @param baseline_time baseline file access time
+ * @param ca_time slowest content-aware sub-file access time
+ * @return fractional frequency gain (e.g.\ 0.15 for +15%)
+ */
+double potentialFrequencyGain(double baseline_time, double ca_time);
+
+/**
+ * Wall-clock speed-up over the baseline when the clock is raised by
+ * @p freq_gain and the relative IPC is @p relative_ipc.
+ *
+ * @return fractional speed-up (positive) or slowdown (negative)
+ */
+double frequencyScaledSpeedup(double relative_ipc, double freq_gain);
+
+} // namespace carf::sim
+
+#endif // CARF_SIM_FREQUENCY_HH

@@ -1,0 +1,106 @@
+#include "sim/reporting.hh"
+
+#include "common/logging.hh"
+
+namespace carf::sim
+{
+
+std::string
+describeConfig(const core::CoreParams &params)
+{
+    std::string desc = core::regFileKindName(params.regFileKind);
+    desc += strprintf(" (%u regs, %uR/%uW", params.physIntRegs,
+                      params.intRfReadPorts, params.intRfWritePorts);
+    if (params.regFileKind == core::RegFileKind::ContentAware) {
+        desc += strprintf(", d+n=%u, M=%u, K=%u",
+                          params.ca.sim.simpleFieldBits(),
+                          params.ca.sim.shortEntries(),
+                          params.ca.longEntries);
+    }
+    desc += ")";
+    return desc;
+}
+
+Table
+suiteIpcTable(const std::string &title, const SuiteRun &run)
+{
+    Table table(title);
+    table.setColumns({"workload", "insts", "cycles", "IPC",
+                      "br-mispred", "bypass%"});
+    for (const auto &r : run.results) {
+        table.addRow({r.workload,
+                      Table::intNum(static_cast<long long>(
+                          r.committedInsts)),
+                      Table::intNum(static_cast<long long>(r.cycles)),
+                      Table::num(r.ipc, 3),
+                      Table::pct(r.branchMispredictRate()),
+                      Table::pct(r.bypass.bypassFraction())});
+    }
+    return table;
+}
+
+std::string
+runResultJson(const core::RunResult &result)
+{
+    const auto &c = result.intRfAccesses;
+    std::string json = "{";
+    json += strprintf("\"workload\":\"%s\",", result.workload.c_str());
+    json += strprintf("\"config\":\"%s\",", result.config.c_str());
+    json += strprintf("\"cycles\":%llu,",
+                      (unsigned long long)result.cycles);
+    json += strprintf("\"insts\":%llu,",
+                      (unsigned long long)result.committedInsts);
+    json += strprintf("\"ipc\":%.6f,", result.ipc);
+    json += strprintf("\"branch_mispredict_rate\":%.6f,",
+                      result.branchMispredictRate());
+    json += strprintf("\"bypass_fraction\":%.6f,",
+                      result.bypass.bypassFraction());
+    json += strprintf(
+        "\"rf_reads\":[%llu,%llu,%llu],",
+        (unsigned long long)c.reads[0], (unsigned long long)c.reads[1],
+        (unsigned long long)c.reads[2]);
+    json += strprintf("\"rf_writes\":[%llu,%llu,%llu],",
+                      (unsigned long long)c.writes[0],
+                      (unsigned long long)c.writes[1],
+                      (unsigned long long)c.writes[2]);
+    json += strprintf("\"short_probe_reads\":%llu,",
+                      (unsigned long long)c.shortProbeReads);
+    json += strprintf("\"short_file_writes\":%llu,",
+                      (unsigned long long)result.shortFileWrites);
+    json += strprintf("\"long_alloc_stalls\":%llu,",
+                      (unsigned long long)result.longAllocStalls);
+    json += strprintf("\"recoveries\":%llu,",
+                      (unsigned long long)result.recoveries);
+    json += strprintf("\"avg_live_long\":%.3f,", result.avgLiveLong);
+    json += strprintf("\"avg_live_short\":%.3f", result.avgLiveShort);
+    json += "}";
+    return json;
+}
+
+std::string
+suiteRunJson(const SuiteRun &run)
+{
+    std::string json = "[";
+    for (size_t i = 0; i < run.results.size(); ++i) {
+        if (i)
+            json += ",";
+        json += runResultJson(run.results[i]);
+    }
+    json += "]";
+    return json;
+}
+
+std::string
+summarizeRun(const core::RunResult &result)
+{
+    return strprintf(
+        "%s on %s: %llu insts in %llu cycles (IPC %.3f), "
+        "bypass %.1f%%, mispredict %.2f%%",
+        result.workload.c_str(), result.config.c_str(),
+        (unsigned long long)result.committedInsts,
+        (unsigned long long)result.cycles, result.ipc,
+        100.0 * result.bypass.bypassFraction(),
+        100.0 * result.branchMispredictRate());
+}
+
+} // namespace carf::sim

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared result-rendering helpers for the benchmark harnesses and
+ * examples.
+ */
+
+#ifndef CARF_SIM_REPORTING_HH
+#define CARF_SIM_REPORTING_HH
+
+#include <string>
+
+#include "common/table.hh"
+#include "core/core_stats.hh"
+#include "core/params.hh"
+#include "sim/experiments.hh"
+
+namespace carf::sim
+{
+
+/** One-line human-readable configuration summary. */
+std::string describeConfig(const core::CoreParams &params);
+
+/** Per-workload IPC table for a suite run. */
+Table suiteIpcTable(const std::string &title, const SuiteRun &run);
+
+/** Render one run's headline numbers. */
+std::string summarizeRun(const core::RunResult &result);
+
+/**
+ * Machine-readable JSON object for one run (flat keys; counts and
+ * rates). Stable field names — downstream tooling parses this.
+ */
+std::string runResultJson(const core::RunResult &result);
+
+/** JSON array of runResultJson objects for a whole suite run. */
+std::string suiteRunJson(const SuiteRun &run);
+
+} // namespace carf::sim
+
+#endif // CARF_SIM_REPORTING_HH

@@ -1,0 +1,22 @@
+#include "sim/simulator.hh"
+
+namespace carf::sim
+{
+
+core::RunResult
+simulate(const workloads::Workload &workload,
+         const core::CoreParams &params, const SimOptions &options,
+         LiveValueOracle *oracle)
+{
+    core::CoreParams run_params = params;
+    run_params.oracleSamplePeriod = options.oracleSamplePeriod;
+
+    auto trace = workloads::makeTrace(
+        workload, options.fastForward + options.maxInsts);
+    core::Pipeline pipeline(run_params);
+    if (options.fastForward > 0)
+        pipeline.warmUp(*trace, options.fastForward);
+    return pipeline.run(*trace, oracle);
+}
+
+} // namespace carf::sim

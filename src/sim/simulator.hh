@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Top-level simulation facade: one call simulates one workload on one
+ * core configuration. This is the library's primary entry point.
+ */
+
+#ifndef CARF_SIM_SIMULATOR_HH
+#define CARF_SIM_SIMULATOR_HH
+
+#include "core/pipeline.hh"
+#include "sim/oracle.hh"
+#include "workloads/workload.hh"
+
+namespace carf::sim
+{
+
+/** Run-level options independent of the core configuration. */
+struct SimOptions
+{
+    /** Dynamic instruction budget (the paper simulated 300M). */
+    u64 maxInsts = 2'000'000;
+    /** Oracle sampling period in cycles; 0 disables sampling. */
+    unsigned oracleSamplePeriod = 0;
+    /**
+     * Instructions to fast-forward (functional warm-up of caches,
+     * predictor, Short file, and architectural state) before the
+     * timed window — the SimPoint-style skip the paper used.
+     */
+    u64 fastForward = 0;
+};
+
+/**
+ * Simulate @p workload on a core configured by @p params.
+ *
+ * @param oracle optional live-value oracle (requires
+ *        options.oracleSamplePeriod > 0 to receive samples)
+ */
+core::RunResult simulate(const workloads::Workload &workload,
+                         const core::CoreParams &params,
+                         const SimOptions &options = {},
+                         LiveValueOracle *oracle = nullptr);
+
+} // namespace carf::sim
+
+#endif // CARF_SIM_SIMULATOR_HH

@@ -1,0 +1,470 @@
+#include "workloads/fp_kernels.hh"
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "isa/assembler.hh"
+#include "workloads/kernel_util.hh"
+
+namespace carf::workloads
+{
+
+using namespace carf::isa;
+
+namespace
+{
+
+constexpr Addr daxpyXBase = 0xc00e'4000;
+constexpr Addr daxpyYBase = 0xc120'8000;
+constexpr Addr daxpyConst = 0xc232'c000;
+constexpr Addr stencilABase = 0xc844'0000;
+constexpr Addr stencilBBase = 0xc956'4000;
+constexpr Addr stencilConst = 0xca68'8000;
+constexpr Addr mmABase = 0xcb7a'c000;
+constexpr Addr mmBBase = 0xcc8c'0000;
+constexpr Addr mmCBase = 0xcd9e'4000;
+constexpr Addr dotXBase = 0xceb0'8000;
+constexpr Addr dotYBase = 0xcfc2'c000;
+constexpr Addr dotOut = 0xd0d4'0000;
+constexpr Addr mcConst = 0xd1e6'4000;
+constexpr Addr mcOut = 0xd2f8'8000;
+constexpr Addr jacUBase = 0xd40a'c000;
+constexpr Addr jacVBase = 0xd51c'0000;
+constexpr Addr jacConst = 0xd62e'4000;
+
+std::vector<double>
+randomDoubles(size_t count, u64 seed, double lo = -1.0, double hi = 1.0)
+{
+    Rng rng(seed);
+    std::vector<double> values(count);
+    for (auto &v : values)
+        v = lo + (hi - lo) * rng.nextDouble();
+    return values;
+}
+
+} // namespace
+
+isa::Program
+buildDaxpy(unsigned elems)
+{
+    Assembler a;
+    environmentPrologue(a, 0xe0 + 1);
+    a.dataF64(daxpyXBase, randomDoubles(elems, 0xdaf1));
+    a.dataF64(daxpyYBase, randomDoubles(elems, 0xdaf2));
+    a.dataF64(daxpyConst, {0.000125}); // small a keeps y bounded
+
+    a.movi(R1, static_cast<i64>(daxpyXBase));
+    a.movi(R2, static_cast<i64>(daxpyYBase));
+    a.movi(R3, static_cast<i64>(elems));
+    a.movi(R5, static_cast<i64>(daxpyConst));
+    a.fld(F1, R5, 0);
+    a.label("restart");
+    a.movi(R4, 0);
+    a.label("loop");
+    a.slli(R6, R4, 3);
+    a.add(R7, R6, R1);
+    a.fld(F2, R7, 0);
+    a.add(R8, R6, R2);
+    a.fld(F3, R8, 0);
+    a.fmul(F4, F2, F1);
+    a.fadd(F5, F4, F3);
+    a.fst(F5, R8, 0);
+    a.addi(R4, R4, 1);
+    a.blt(R4, R3, "loop");
+    a.jmp("restart");
+    return a.finish();
+}
+
+isa::Program
+buildStencil(unsigned elems)
+{
+    Assembler a;
+    environmentPrologue(a, 0xe0 + 2);
+    a.dataF64(stencilABase, randomDoubles(elems, 0x57e1));
+    a.dataF64(stencilBBase, randomDoubles(elems, 0x57e2));
+    a.dataF64(stencilConst, {1.0 / 3.0});
+
+    a.movi(R1, static_cast<i64>(stencilABase)); // source
+    a.movi(R2, static_cast<i64>(stencilBBase)); // destination
+    a.movi(R3, static_cast<i64>(elems) - 1);
+    a.movi(R5, static_cast<i64>(stencilConst));
+    a.fld(F1, R5, 0);
+    a.label("sweep");
+    a.movi(R4, 1);
+    a.label("loop");
+    a.slli(R6, R4, 3);
+    a.add(R7, R6, R1);
+    a.fld(F2, R7, -8);
+    a.fld(F3, R7, 0);
+    a.fld(F4, R7, 8);
+    a.fadd(F5, F2, F3);
+    a.fadd(F5, F5, F4);
+    a.fmul(F5, F5, F1);
+    a.add(R8, R6, R2);
+    a.fst(F5, R8, 0);
+    a.addi(R4, R4, 1);
+    a.blt(R4, R3, "loop");
+    // Ping-pong the buffers.
+    a.mov(R9, R1);
+    a.mov(R1, R2);
+    a.mov(R2, R9);
+    a.jmp("sweep");
+    return a.finish();
+}
+
+isa::Program
+buildMatMul(unsigned dim)
+{
+    Assembler a;
+    environmentPrologue(a, 0xe0 + 3);
+    size_t cells = size_t{dim} * dim;
+    a.dataF64(mmABase, randomDoubles(cells, 0x3a71));
+    a.dataF64(mmBBase, randomDoubles(cells, 0x3a72));
+
+    a.movi(R1, static_cast<i64>(mmABase));
+    a.movi(R2, static_cast<i64>(mmBBase));
+    a.movi(R3, static_cast<i64>(mmCBase));
+    a.movi(R4, static_cast<i64>(dim));
+    a.movi(R10, static_cast<i64>(dim) * 8); // B row stride in bytes
+    a.label("restart");
+    a.movi(R5, 0); // i
+    a.label("iloop");
+    a.movi(R6, 0); // j
+    a.label("jloop");
+    a.movi(R7, 0); // k
+    a.mul(R8, R5, R4);
+    a.slli(R8, R8, 3);
+    a.add(R8, R8, R1); // aptr = &A[i][0]
+    a.slli(R9, R6, 3);
+    a.add(R9, R9, R2); // bptr = &B[0][j]
+    a.fsub(F1, F1, F1); // acc = 0
+    a.label("kloop");
+    a.fld(F2, R8, 0);
+    a.fld(F3, R9, 0);
+    a.fmul(F4, F2, F3);
+    a.fadd(F1, F1, F4);
+    a.addi(R8, R8, 8);
+    a.add(R9, R9, R10);
+    a.addi(R7, R7, 1);
+    a.blt(R7, R4, "kloop");
+    // C[i][j] = acc
+    a.mul(R11, R5, R4);
+    a.add(R11, R11, R6);
+    a.slli(R11, R11, 3);
+    a.add(R11, R11, R3);
+    a.fst(F1, R11, 0);
+    a.addi(R6, R6, 1);
+    a.blt(R6, R4, "jloop");
+    a.addi(R5, R5, 1);
+    a.blt(R5, R4, "iloop");
+    a.jmp("restart");
+    return a.finish();
+}
+
+isa::Program
+buildDotReduce(unsigned elems)
+{
+    Assembler a;
+    environmentPrologue(a, 0xe0 + 4);
+    a.dataF64(dotXBase, randomDoubles(elems, 0xd071));
+    a.dataF64(dotYBase, randomDoubles(elems, 0xd072));
+
+    a.movi(R1, static_cast<i64>(dotXBase));
+    a.movi(R2, static_cast<i64>(dotYBase));
+    a.movi(R3, static_cast<i64>(elems));
+    a.movi(R9, static_cast<i64>(dotOut));
+    a.label("restart");
+    a.movi(R4, 0);
+    a.fsub(F1, F1, F1); // acc0 = 0
+    a.fsub(F2, F2, F2); // acc1 = 0
+    a.label("loop");
+    a.slli(R5, R4, 3);
+    a.add(R6, R5, R1);
+    a.add(R7, R5, R2);
+    a.fld(F3, R6, 0);
+    a.fld(F4, R7, 0);
+    a.fmul(F5, F3, F4);
+    a.fadd(F1, F1, F5);
+    a.fld(F6, R6, 8);
+    a.fld(F7, R7, 8);
+    a.fmul(F8, F6, F7);
+    a.fadd(F2, F2, F8);
+    a.addi(R4, R4, 2);
+    a.blt(R4, R3, "loop");
+    a.fadd(F1, F1, F2);
+    a.fst(F1, R9, 0);
+    a.jmp("restart");
+    return a.finish();
+}
+
+isa::Program
+buildMonteCarlo()
+{
+    Assembler a;
+    environmentPrologue(a, 0xe0 + 5);
+    a.dataF64(mcConst, {1.0 / 1073741824.0, 1.0}); // 2^-30 and 1.0
+
+    a.movi(R1, static_cast<i64>(mcConst));
+    a.fld(F1, R1, 0); // scale
+    a.fld(F2, R1, 8); // one
+    a.movi(R2, static_cast<i64>(mcOut));
+    a.movi(R3, 0x243f6a8885a308d3ll); // xorshift state
+    a.movi(R4, 0);                    // inside count
+    a.movi(R5, 0);                    // total count
+    a.movi(R6, 0x3fffffff);           // 30-bit mask
+    a.label("loop");
+    // Draw x.
+    a.slli(R7, R3, 13);
+    a.xor_(R3, R3, R7);
+    a.srli(R7, R3, 7);
+    a.xor_(R3, R3, R7);
+    a.and_(R8, R3, R6);
+    a.fcvtif(F3, R8);
+    a.fmul(F3, F3, F1);
+    // Draw y.
+    a.slli(R7, R3, 17);
+    a.xor_(R3, R3, R7);
+    a.srli(R7, R3, 11);
+    a.xor_(R3, R3, R7);
+    a.and_(R8, R3, R6);
+    a.fcvtif(F4, R8);
+    a.fmul(F4, F4, F1);
+    // r2 = x*x + y*y; inside iff r2 < 1.
+    a.fmul(F5, F3, F3);
+    a.fmul(F6, F4, F4);
+    a.fadd(F5, F5, F6);
+    // Inside iff r2 < 1: r2 - 1 is negative, and truncating toward
+    // zero keeps the sign for magnitudes >= 1... use a scaled compare
+    // instead so truncation cannot lose the sign: (r2-1)*2^30.
+    a.fsub(F7, F5, F2); // r2 - 1
+    a.fcvtif(F8, R6);   // 2^30 - 1 as a double (large scale factor)
+    a.fmul(F7, F7, F8);
+    a.fcvtfi(R9, F7);   // negative iff inside
+    a.slti(R10, R9, 0);
+    a.add(R4, R4, R10);
+    a.addi(R5, R5, 1);
+    // Periodically store the counters.
+    a.andi(R11, R5, 1023);
+    a.bne(R11, R0, "skip");
+    a.st(R4, R2, 0);
+    a.st(R5, R2, 8);
+    a.label("skip");
+    a.jmp("loop");
+    return a.finish();
+}
+
+isa::Program
+buildJacobi(unsigned dim)
+{
+    Assembler a;
+    environmentPrologue(a, 0xe0 + 6);
+    size_t cells = size_t{dim} * dim;
+    a.dataF64(jacUBase, randomDoubles(cells, 0x1ac0, 0.0, 100.0));
+    a.dataF64(jacVBase, std::vector<double>(cells, 0.0));
+    a.dataF64(jacConst, {0.25});
+
+    i64 row_bytes = static_cast<i64>(dim) * 8;
+    a.movi(R1, static_cast<i64>(jacUBase));
+    a.movi(R2, static_cast<i64>(jacVBase));
+    a.movi(R3, static_cast<i64>(dim) - 1);
+    a.movi(R12, static_cast<i64>(jacConst));
+    a.fld(F1, R12, 0);
+    a.movi(R10, row_bytes);
+    a.label("sweep");
+    a.movi(R4, 1); // i
+    a.label("iloop");
+    a.movi(R5, 1); // j
+    a.label("jloop");
+    // off = (i*dim + j) * 8
+    a.mul(R6, R4, R3);
+    a.add(R6, R6, R4); // i*(dim-1)+i = i*dim
+    a.add(R6, R6, R5);
+    a.slli(R6, R6, 3);
+    a.add(R7, R6, R1);
+    a.fld(F2, R7, -8); // left
+    a.fld(F3, R7, 8);  // right
+    a.sub(R8, R7, R10);
+    a.fld(F4, R8, 0);  // up
+    a.add(R8, R7, R10);
+    a.fld(F5, R8, 0);  // down
+    a.fadd(F2, F2, F3);
+    a.fadd(F4, F4, F5);
+    a.fadd(F2, F2, F4);
+    a.fmul(F2, F2, F1);
+    a.add(R9, R6, R2);
+    a.fst(F2, R9, 0);
+    a.addi(R5, R5, 1);
+    a.blt(R5, R3, "jloop");
+    a.addi(R4, R4, 1);
+    a.blt(R4, R3, "iloop");
+    // Swap buffers.
+    a.mov(R11, R1);
+    a.mov(R1, R2);
+    a.mov(R2, R11);
+    a.jmp("sweep");
+    return a.finish();
+}
+
+
+isa::Program
+buildFftButterfly(unsigned log2_n)
+{
+    // Radix-2 butterfly passes over complex data with preloaded
+    // twiddles. The post-butterfly 1/sqrt(2) scaling keeps magnitudes
+    // statistically stable across unbounded repetition.
+    constexpr Addr re_base = 0xd740'4000;
+    constexpr Addr im_base = 0xd852'8000;
+    constexpr Addr wr_base = 0xd964'c000;
+    constexpr Addr wi_base = 0xda77'0000;
+    constexpr Addr fft_const = 0xdb89'4000;
+
+    unsigned n = 1u << log2_n;
+    Rng rng(0xff7);
+    std::vector<double> re(n), im(n), wr(n / 2), wi(n / 2);
+    for (unsigned i = 0; i < n; ++i) {
+        re[i] = 2.0 * rng.nextDouble() - 1.0;
+        im[i] = 2.0 * rng.nextDouble() - 1.0;
+    }
+    for (unsigned k = 0; k < n / 2; ++k) {
+        double angle = -2.0 * 3.14159265358979323846 * k / n;
+        // No libm in the ISA: twiddles are data, computed here.
+        wr[k] = std::cos(angle);
+        wi[k] = std::sin(angle);
+    }
+
+    Assembler a;
+    environmentPrologue(a, 0xe0 + 20);
+    a.dataF64(re_base, re);
+    a.dataF64(im_base, im);
+    a.dataF64(wr_base, wr);
+    a.dataF64(wi_base, wi);
+    a.dataF64(fft_const, {0.70710678118654752});
+
+    a.movi(R1, static_cast<i64>(re_base));
+    a.movi(R2, static_cast<i64>(im_base));
+    a.movi(R3, static_cast<i64>(wr_base));
+    a.movi(R4, static_cast<i64>(wi_base));
+    a.movi(R5, static_cast<i64>(n / 2));
+    a.movi(R13, static_cast<i64>(fft_const));
+    a.fld(F11, R13, 0); // scale
+    a.label("restart");
+    a.movi(R6, 0); // k
+    a.label("kloop");
+    a.slli(R7, R6, 4); // pair offset (2k doubles)
+    a.add(R8, R7, R1);
+    a.add(R9, R7, R2);
+    a.slli(R10, R6, 3);
+    a.add(R11, R10, R3);
+    a.add(R12, R10, R4);
+    a.fld(F1, R8, 0);  // re_i
+    a.fld(F2, R8, 8);  // re_j
+    a.fld(F3, R9, 0);  // im_i
+    a.fld(F4, R9, 8);  // im_j
+    a.fld(F5, R11, 0); // wr
+    a.fld(F6, R12, 0); // wi
+    // tr = re_j*wr - im_j*wi ; ti = re_j*wi + im_j*wr
+    a.fmul(F7, F2, F5);
+    a.fmul(F8, F4, F6);
+    a.fsub(F7, F7, F8);
+    a.fmul(F8, F2, F6);
+    a.fmul(F9, F4, F5);
+    a.fadd(F8, F8, F9);
+    // butterfly with stabilising scale
+    a.fadd(F10, F1, F7);
+    a.fmul(F10, F10, F11);
+    a.fst(F10, R8, 0);
+    a.fsub(F10, F1, F7);
+    a.fmul(F10, F10, F11);
+    a.fst(F10, R8, 8);
+    a.fadd(F10, F3, F8);
+    a.fmul(F10, F10, F11);
+    a.fst(F10, R9, 0);
+    a.fsub(F10, F3, F8);
+    a.fmul(F10, F10, F11);
+    a.fst(F10, R9, 8);
+    a.addi(R6, R6, 1);
+    a.blt(R6, R5, "kloop");
+    a.jmp("restart");
+    return a.finish();
+}
+
+isa::Program
+buildNbody(unsigned bodies)
+{
+    // All-pairs softened gravity: O(n^2) fp-divide-heavy inner loop
+    // with an integration step per body.
+    constexpr Addr px_base = 0xdc9b'8000;
+    constexpr Addr py_base = 0xddad'c000;
+    constexpr Addr mass_base = 0xdec0'0000;
+    constexpr Addr nb_const = 0xdfd2'4000;
+
+    Rng rng(0xb0d7);
+    std::vector<double> px(bodies), py(bodies), mass(bodies);
+    for (unsigned i = 0; i < bodies; ++i) {
+        px[i] = 100.0 * rng.nextDouble();
+        py[i] = 100.0 * rng.nextDouble();
+        mass[i] = 0.5 + rng.nextDouble();
+    }
+
+    Assembler a;
+    environmentPrologue(a, 0xe0 + 21);
+    a.dataF64(px_base, px);
+    a.dataF64(py_base, py);
+    a.dataF64(mass_base, mass);
+    a.dataF64(nb_const, {1.0, 1e-7}); // softening eps, dt
+
+    a.movi(R1, static_cast<i64>(px_base));
+    a.movi(R2, static_cast<i64>(py_base));
+    a.movi(R3, static_cast<i64>(mass_base));
+    a.movi(R4, static_cast<i64>(bodies));
+    a.movi(R13, static_cast<i64>(nb_const));
+    a.fld(F10, R13, 0); // eps
+    a.fld(F12, R13, 8); // dt
+    a.label("restart");
+    a.movi(R5, 0); // i
+    a.label("iloop");
+    a.slli(R6, R5, 3);
+    a.add(R7, R6, R1);
+    a.fld(F3, R7, 0); // px_i
+    a.add(R8, R6, R2);
+    a.fld(F4, R8, 0); // py_i
+    a.fsub(F1, F1, F1); // ax = 0
+    a.fsub(F2, F2, F2); // ay = 0
+    a.movi(R9, 0); // j
+    a.label("jloop");
+    a.slli(R10, R9, 3);
+    a.add(R11, R10, R1);
+    a.fld(F5, R11, 0);
+    a.add(R12, R10, R2);
+    a.fld(F6, R12, 0);
+    a.add(R11, R10, R3);
+    a.fld(F7, R11, 0); // m_j
+    a.fsub(F5, F5, F3); // dx
+    a.fsub(F6, F6, F4); // dy
+    a.fmul(F8, F5, F5);
+    a.fmul(F9, F6, F6);
+    a.fadd(F8, F8, F9);
+    a.fadd(F8, F8, F10); // + eps
+    a.fdiv(F9, F7, F8);  // m / r^2
+    a.fmul(F11, F5, F9);
+    a.fadd(F1, F1, F11);
+    a.fmul(F11, F6, F9);
+    a.fadd(F2, F2, F11);
+    a.addi(R9, R9, 1);
+    a.blt(R9, R4, "jloop");
+    // Integrate body i.
+    a.fmul(F1, F1, F12);
+    a.fmul(F2, F2, F12);
+    a.fld(F5, R7, 0);
+    a.fadd(F5, F5, F1);
+    a.fst(F5, R7, 0);
+    a.fld(F6, R8, 0);
+    a.fadd(F6, F6, F2);
+    a.fst(F6, R8, 0);
+    a.addi(R5, R5, 1);
+    a.blt(R5, R4, "iloop");
+    a.jmp("restart");
+    return a.finish();
+}
+
+} // namespace carf::workloads

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Floating-point kernel programs (the SPECfp2000 stand-in suite).
+ *
+ * FP kernels exercise the *integer* register file through address
+ * arithmetic and loop control, which is exactly how the paper's
+ * numerical codes stress the proposed organization; the FP payloads
+ * live in the (unmodified) FP register file.
+ */
+
+#ifndef CARF_WORKLOADS_FP_KERNELS_HH
+#define CARF_WORKLOADS_FP_KERNELS_HH
+
+#include "isa/instruction.hh"
+
+namespace carf::workloads
+{
+
+/** Streaming y[i] += a * x[i] over large arrays. */
+isa::Program buildDaxpy(unsigned elems = 1 << 15);
+
+/** 1D three-point stencil with buffer ping-pong. */
+isa::Program buildStencil(unsigned elems = 1 << 14);
+
+/** Dense matrix-matrix product (naive ijk). */
+isa::Program buildMatMul(unsigned dim = 48);
+
+/** Dot products with unrolled dual accumulators. */
+isa::Program buildDotReduce(unsigned elems = 1 << 15);
+
+/** Monte-Carlo pi estimation: xorshift draws, FP compare, branch. */
+isa::Program buildMonteCarlo();
+
+/** Jacobi relaxation sweeps over a 2D grid. */
+isa::Program buildJacobi(unsigned dim = 64);
+
+/** Radix-2 FFT-style butterfly passes with preloaded twiddles. */
+isa::Program buildFftButterfly(unsigned log2_n = 10);
+
+/** All-pairs N-body force accumulation (softened inverse square). */
+isa::Program buildNbody(unsigned bodies = 96);
+
+} // namespace carf::workloads
+
+#endif // CARF_WORKLOADS_FP_KERNELS_HH

@@ -1,0 +1,576 @@
+#include "workloads/int_kernels.hh"
+
+#include <functional>
+
+#include "common/random.hh"
+#include "isa/assembler.hh"
+#include "workloads/kernel_util.hh"
+
+namespace carf::workloads
+{
+
+using namespace carf::isa;
+
+namespace
+{
+
+// Heap bases for the integer kernels. Deliberately high (so address
+// values are never "simple") and irregular in the mid bits (so the
+// regions spread over Short-file indices like malloc'd heaps do).
+constexpr Addr chaseBase = 0x4000'0000;
+constexpr Addr hashBase = 0x5013'4000;
+constexpr Addr sortBase = 0x6026'8000;
+constexpr Addr strSrcBase = 0x7039'c000;
+constexpr Addr strDstBase = 0x714c'0000;
+constexpr Addr graphRowBase = 0x805e'4000;
+constexpr Addr graphEdgeBase = 0x8170'8000;
+constexpr Addr rleInBase = 0x9082'c000;
+constexpr Addr rleOutBase = 0x9195'0000;
+constexpr Addr matABase = 0xa0a7'4000;
+constexpr Addr matXBase = 0xa1b9'8000;
+constexpr Addr matYBase = 0xa2cb'c000;
+constexpr Addr crcBase = 0xb0de'0000;
+constexpr Addr counterBase = 0x1000;
+
+std::vector<u64>
+randomWords(size_t count, u64 seed, unsigned value_bits = 32)
+{
+    // SPEC2000-era integer data is dominated by (sign-extended)
+    // 32-bit-or-narrower values; full-width random payloads would be
+    // unrepresentative (see DESIGN.md).
+    Rng rng(seed);
+    std::vector<u64> words(count);
+    for (auto &w : words)
+        w = rng.next() >> (64 - value_bits);
+    return words;
+}
+
+std::vector<u8>
+randomBytes(size_t count, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<u8> bytes(count);
+    for (auto &b : bytes)
+        b = static_cast<u8>(rng.next());
+    return bytes;
+}
+
+} // namespace
+
+isa::Program
+buildPointerChase(unsigned nodes)
+{
+    // Nodes of 16 bytes: [0]=next pointer, [8]=payload. The nodes are
+    // linked in a random cycle, so the traversal never terminates and
+    // the address stream is cache-hostile.
+    Rng rng(0xc0ffee);
+    std::vector<u32> order(nodes);
+    for (u32 i = 0; i < nodes; ++i)
+        order[i] = i;
+    for (u32 i = nodes - 1; i > 0; --i) {
+        u32 j = static_cast<u32>(rng.nextBounded(i + 1));
+        std::swap(order[i], order[j]);
+    }
+
+    std::vector<u64> heap(nodes * 2, 0);
+    for (u32 i = 0; i < nodes; ++i) {
+        u32 cur = order[i];
+        u32 next = order[(i + 1) % nodes];
+        heap[cur * 2] = chaseBase + u64{next} * 16;
+        heap[cur * 2 + 1] = rng.next() >> 48; // small payloads
+    }
+
+    Assembler a;
+    environmentPrologue(a, 0xe0 + 1);
+    a.dataU64(chaseBase, heap);
+    a.movi(R1, static_cast<i64>(chaseBase + u64{order[0]} * 16));
+    a.movi(R2, 0);
+    a.label("loop");
+    a.ld(R3, R1, 8);
+    a.add(R2, R2, R3);
+    a.ld(R1, R1, 0);
+    a.bne(R1, R0, "loop"); // always taken: the list is a cycle
+    a.jmp("loop");
+    return a.finish();
+}
+
+isa::Program
+buildHashTable(unsigned log2_slots)
+{
+    // Keys stream from a preloaded 32-bit key array (as in a real
+    // lookup-dominated hash loop); the multiplicative hash and slot
+    // compare produce one long-ish value per probe rather than a
+    // dense chain of them.
+    constexpr unsigned key_count = 1 << 14;
+    Assembler a;
+    environmentPrologue(a, 0xe0 + 2);
+    a.dataU64(hashBase, std::vector<u64>((u64{1} << log2_slots), 0));
+    constexpr Addr key_base = hashBase + 0x0400'0000;
+    a.dataU64(key_base, randomWords(key_count, 0x4e75));
+
+    a.movi(R1, static_cast<i64>(hashBase));
+    a.movi(R2, static_cast<i64>(0x9e3779b97f4a7c15ull)); // golden ratio
+    a.movi(R3, static_cast<i64>(key_base));
+    a.movi(R13, static_cast<i64>(key_base + key_count * 8));
+    a.movi(R12, 0); // hit counter
+    a.label("restart");
+    a.mov(R4, R3); // key cursor
+    a.label("loop");
+    a.ld(R6, R4, 0); // key
+    // slot = ((key * golden) >> (64 - log2)) * 8 + table
+    a.mul(R7, R6, R2);
+    a.srli(R7, R7, 64 - static_cast<i64>(log2_slots));
+    a.slli(R7, R7, 3);
+    a.add(R7, R7, R1);
+    // probe: if the slot already holds this key, count a hit,
+    // otherwise claim it.
+    a.ld(R8, R7, 0);
+    a.beq(R8, R6, "hit");
+    a.st(R6, R7, 0);
+    a.jmp("next");
+    a.label("hit");
+    a.addi(R12, R12, 1);
+    a.label("next");
+    a.addi(R4, R4, 8);
+    a.blt(R4, R13, "loop");
+    a.jmp("restart");
+    return a.finish();
+}
+
+isa::Program
+buildSortPasses(unsigned elems)
+{
+    Assembler a;
+    environmentPrologue(a, 0xe0 + 3);
+    // 24-bit keys: not "simple" at the paper's d+n=20, simple from
+    // d+n=25 up — places one of the suite's value-type crossovers
+    // inside the studied sweep.
+    a.dataU64(sortBase, randomWords(elems, 0x50f7, 24));
+
+    a.movi(R1, static_cast<i64>(sortBase));
+    a.movi(R2, static_cast<i64>(elems) - 1);
+    a.movi(R8, 0); // pass counter
+    a.label("outer");
+    a.movi(R3, 0);
+    a.mov(R4, R1);
+    a.label("inner");
+    a.ld(R5, R4, 0);
+    a.ld(R6, R4, 8);
+    a.bge(R6, R5, "noswap");
+    a.st(R6, R4, 0);
+    a.st(R5, R4, 8);
+    a.label("noswap");
+    a.addi(R4, R4, 8);
+    a.addi(R3, R3, 1);
+    a.blt(R3, R2, "inner");
+    // Perturb one element per pass so swap activity never dies out.
+    a.addi(R8, R8, 1);
+    a.andi(R7, R8, static_cast<i64>(elems) - 1);
+    a.slli(R7, R7, 3);
+    a.add(R7, R7, R1);
+    a.mul(R9, R8, R8);
+    a.st(R9, R7, 0);
+    a.jmp("outer");
+    return a.finish();
+}
+
+isa::Program
+buildStringOps(unsigned bytes)
+{
+    // memcmp+memcpy flavour: compare two read-only random buffers
+    // (bytes match ~1/256, so the equality branch is predictable, as
+    // string compares usually are) and write their mix to a third.
+    constexpr Addr dst2 = strDstBase + 0x0110'0000;
+    Assembler a;
+    environmentPrologue(a, 0xe0 + 4);
+    a.data(strSrcBase, randomBytes(bytes, 0x57a7));
+    a.data(strDstBase, randomBytes(bytes, 0x57a8));
+
+    // Strength-reduced pointer loop, as a compiler would emit it:
+    // the induction variables are the addresses themselves.
+    a.movi(R1, static_cast<i64>(strSrcBase));
+    a.movi(R2, static_cast<i64>(strDstBase));
+    a.movi(R3, static_cast<i64>(dst2));
+    a.movi(R12, static_cast<i64>(strSrcBase + bytes)); // end pointer
+    a.movi(R11, 0); // match counter
+    a.label("restart");
+    a.mov(R5, R1);
+    a.mov(R6, R2);
+    a.mov(R10, R3);
+    a.label("loop");
+    a.lb(R7, R5, 0);
+    a.lb(R8, R6, 0);
+    a.bne(R7, R8, "differ"); // almost always taken
+    a.addi(R11, R11, 1);
+    a.label("differ");
+    a.add(R9, R7, R8);
+    a.sb(R9, R10, 0);
+    a.addi(R5, R5, 1);
+    a.addi(R6, R6, 1);
+    a.addi(R10, R10, 1);
+    a.blt(R5, R12, "loop");
+    a.jmp("restart");
+    return a.finish();
+}
+
+isa::Program
+buildGraphWalk(unsigned vertices, unsigned avg_degree)
+{
+    Rng rng(0x6e4a);
+    std::vector<u64> rowptr(vertices + 1);
+    u64 edge_count = 0;
+    rowptr[0] = 0;
+    for (unsigned v = 0; v < vertices; ++v) {
+        edge_count += rng.nextBounded(2 * avg_degree + 1);
+        rowptr[v + 1] = edge_count;
+    }
+    std::vector<u64> edges(edge_count);
+    for (auto &e : edges)
+        e = rng.nextBounded(vertices);
+
+    Assembler a;
+    environmentPrologue(a, 0xe0 + 5);
+    a.dataU64(graphRowBase, rowptr);
+    a.dataU64(graphEdgeBase, edges);
+
+    // Pointer-walk form: the row pointer and the edge cursor/limit
+    // are all address values (strong Short-file stimulus).
+    a.movi(R1, static_cast<i64>(graphRowBase));
+    a.movi(R2, static_cast<i64>(graphEdgeBase));
+    a.movi(R13, static_cast<i64>(graphRowBase + vertices * 8));
+    a.movi(R10, 0); // checksum
+    a.label("restart");
+    a.mov(R5, R1); // row pointer
+    a.label("vloop");
+    a.ld(R6, R5, 0); // edge start index
+    a.ld(R7, R5, 8); // edge end index
+    a.slli(R8, R6, 3);
+    a.add(R8, R8, R2); // edge cursor
+    a.slli(R12, R7, 3);
+    a.add(R12, R12, R2); // edge limit
+    a.label("eloop");
+    a.bge(R8, R12, "vnext");
+    a.ld(R9, R8, 0);
+    a.add(R10, R10, R9);
+    a.addi(R8, R8, 8);
+    a.jmp("eloop");
+    a.label("vnext");
+    a.addi(R5, R5, 8);
+    a.blt(R5, R13, "vloop");
+    a.jmp("restart");
+    return a.finish();
+}
+
+isa::Program
+buildRle(unsigned bytes)
+{
+    // Input filled with runs of length 1..16 so the encoder's branch
+    // mix is realistic.
+    Rng rng(0x41e);
+    std::vector<u8> input(bytes);
+    size_t pos = 0;
+    while (pos < bytes) {
+        u8 value = static_cast<u8>(rng.next());
+        size_t run = 1 + rng.nextBounded(16);
+        for (size_t i = 0; i < run && pos < bytes; ++i)
+            input[pos++] = value;
+    }
+
+    Assembler a;
+    environmentPrologue(a, 0xe0 + 6);
+    a.data(rleInBase, input);
+    // Pointer-based scan: input cursor, input limit, and output
+    // cursor are all live address values.
+    a.movi(R1, static_cast<i64>(rleInBase));
+    a.movi(R2, static_cast<i64>(rleOutBase));
+    a.movi(R3, static_cast<i64>(rleInBase + bytes)); // input limit
+    a.movi(R11, static_cast<i64>(rleOutBase + 0x10000)); // out wrap
+    a.label("restart");
+    a.mov(R4, R1);  // input cursor
+    a.mov(R10, R2); // output cursor
+    a.label("loop");
+    a.lb(R6, R4, 0); // run byte
+    a.movi(R7, 1);   // run length
+    a.label("run");
+    a.addi(R4, R4, 1);
+    a.bge(R4, R3, "flush");
+    a.lb(R8, R4, 0);
+    a.bne(R8, R6, "flush");
+    a.addi(R7, R7, 1);
+    a.jmp("run");
+    a.label("flush");
+    a.sb(R6, R10, 0);
+    a.sb(R7, R10, 1);
+    a.addi(R10, R10, 2);
+    a.blt(R10, R11, "no_wrap");
+    a.mov(R10, R2);
+    a.label("no_wrap");
+    a.blt(R4, R3, "loop");
+    a.jmp("restart");
+    return a.finish();
+}
+
+isa::Program
+buildMatVecInt(unsigned dim)
+{
+    Assembler a;
+    environmentPrologue(a, 0xe0 + 7);
+    // 16-bit matrix/vector data: products fit 32 bits and row
+    // accumulators ~40 bits, matching fixed-point integer codes.
+    a.dataU64(matABase, randomWords(size_t{dim} * dim, 0x3a7, 16));
+    a.dataU64(matXBase, randomWords(dim, 0x3a8, 16));
+
+    a.movi(R1, static_cast<i64>(matABase));
+    a.movi(R2, static_cast<i64>(matXBase));
+    a.movi(R3, static_cast<i64>(matYBase));
+    a.movi(R4, static_cast<i64>(dim));
+    a.label("restart");
+    a.movi(R5, 0);  // i
+    a.mov(R11, R1); // row pointer
+    a.label("iloop");
+    a.movi(R6, 0);  // j
+    a.mov(R7, R2);  // x pointer
+    a.movi(R8, 0);  // accumulator
+    a.label("jloop");
+    a.ld(R9, R11, 0);
+    a.ld(R10, R7, 0);
+    a.mul(R9, R9, R10);
+    a.add(R8, R8, R9);
+    a.addi(R11, R11, 8);
+    a.addi(R7, R7, 8);
+    a.addi(R6, R6, 1);
+    a.blt(R6, R4, "jloop");
+    a.slli(R12, R5, 3);
+    a.add(R12, R12, R3);
+    a.st(R8, R12, 0);
+    a.addi(R5, R5, 1);
+    a.blt(R5, R4, "iloop");
+    a.jmp("restart");
+    return a.finish();
+}
+
+isa::Program
+buildCrc(unsigned bytes)
+{
+    Assembler a;
+    environmentPrologue(a, 0xe0 + 8);
+    a.data(crcBase, randomBytes(bytes, 0xc4c));
+
+    a.movi(R1, static_cast<i64>(crcBase));
+    a.movi(R4, static_cast<i64>(0xc96c5795d7870f42ull)); // CRC-64 poly
+    a.movi(R5, -1); // crc state
+    a.movi(R3, 0);  // index
+    a.label("loop");
+    a.add(R6, R1, R3);
+    a.lb(R7, R6, 0);
+    a.xor_(R5, R5, R7);
+    for (int round = 0; round < 4; ++round) {
+        // Branchless: crc = (crc >> 1) ^ (poly & -(crc & 1)).
+        a.andi(R8, R5, 1);
+        a.sub(R8, R0, R8);
+        a.and_(R8, R8, R4);
+        a.srli(R5, R5, 1);
+        a.xor_(R5, R5, R8);
+    }
+    a.addi(R3, R3, 1);
+    a.andi(R3, R3, static_cast<i64>(bytes) - 1);
+    a.jmp("loop");
+    return a.finish();
+}
+
+isa::Program
+buildCounters(unsigned elems)
+{
+    Assembler a;
+    environmentPrologue(a, 0xe0 + 9);
+    a.dataU64(counterBase, std::vector<u64>(elems, 0));
+
+    a.movi(R1, static_cast<i64>(counterBase));
+    a.movi(R2, static_cast<i64>(counterBase + elems * 8));
+    a.movi(R7, 0);
+    a.label("outer");
+    a.mov(R4, R1); // element pointer (low address: simple-valued)
+    a.label("iloop");
+    a.ld(R5, R4, 0);
+    a.addi(R5, R5, 1);
+    a.st(R5, R4, 0);
+    a.andi(R6, R5, 7);
+    a.bne(R6, R0, "skip");
+    a.addi(R7, R7, 1);
+    a.label("skip");
+    a.addi(R4, R4, 8);
+    a.blt(R4, R2, "iloop");
+    a.jmp("outer");
+    return a.finish();
+}
+
+
+isa::Program
+buildBstSearch(unsigned nodes)
+{
+    // Balanced BST over sorted 24-bit keys; nodes are 32 bytes:
+    // [key, left, right, payload]. Lookups chase pointers with a
+    // data-dependent left/right branch at every level.
+    constexpr Addr bst_base = 0x4102'c000;
+    constexpr Addr query_base = 0x4215'0000;
+    constexpr unsigned query_count = 1 << 12;
+
+    Rng rng(0xb57);
+    std::vector<u64> keys(nodes);
+    u64 next_key = 0;
+    for (auto &k : keys)
+        k = (next_key += 1 + rng.nextBounded(256)) & 0xffffff;
+
+    // heap[idx] -> node at bst_base + idx*32. Build balanced links.
+    std::vector<u64> heap(nodes * 4, 0);
+    struct Range { unsigned lo, hi; };
+    std::vector<Range> stack = {{0, nodes}};
+    // Recursive midpoint construction, iteratively.
+    std::function<u64(unsigned, unsigned)> build =
+        [&](unsigned lo, unsigned hi) -> u64 {
+        if (lo >= hi)
+            return 0;
+        unsigned mid = lo + (hi - lo) / 2;
+        u64 addr = bst_base + u64{mid} * 32;
+        heap[mid * 4 + 0] = keys[mid];
+        heap[mid * 4 + 1] = build(lo, mid);
+        heap[mid * 4 + 2] = build(mid + 1, hi);
+        heap[mid * 4 + 3] = rng.nextBounded(1 << 12);
+        return addr;
+    };
+    u64 root = build(0, nodes);
+
+    std::vector<u64> queries(query_count);
+    for (auto &q : queries) {
+        // Half present, half absent keys.
+        q = rng.chance(0.5) ? keys[rng.nextBounded(nodes)]
+                            : rng.nextBounded(1 << 24);
+    }
+
+    Assembler a;
+    environmentPrologue(a, 0xe0 + 10);
+    a.dataU64(bst_base, heap);
+    a.dataU64(query_base, queries);
+
+    a.movi(R1, static_cast<i64>(root));
+    a.movi(R2, static_cast<i64>(query_base));
+    a.movi(R13, static_cast<i64>(query_base + query_count * 8));
+    a.movi(R10, 0); // hit counter
+    a.label("restart");
+    a.mov(R4, R2);
+    a.label("qloop");
+    a.ld(R5, R4, 0); // query key
+    a.mov(R6, R1);   // cur = root
+    a.label("search");
+    a.beq(R6, R0, "miss");
+    a.ld(R7, R6, 0); // node key
+    a.beq(R7, R5, "hit");
+    a.blt(R5, R7, "left");
+    a.ld(R6, R6, 16); // right child
+    a.jmp("search");
+    a.label("left");
+    a.ld(R6, R6, 8); // left child
+    a.jmp("search");
+    a.label("hit");
+    a.addi(R10, R10, 1);
+    a.label("miss");
+    a.addi(R4, R4, 8);
+    a.blt(R4, R13, "qloop");
+    a.jmp("restart");
+    return a.finish();
+}
+
+isa::Program
+buildDfaScan(unsigned bytes, unsigned states)
+{
+    // Table-driven finite automaton over a byte stream: every input
+    // byte costs one table load whose address depends on the current
+    // state (serial load-to-address dependence, parser-like).
+    constexpr Addr table_base = 0x4328'4000;
+    constexpr Addr input_base = 0x443a'8000;
+
+    Rng rng(0xdfa);
+    std::vector<u8> table(size_t{states} * 256);
+    for (auto &t : table)
+        t = static_cast<u8>(rng.nextBounded(states));
+    std::vector<u8> input = randomBytes(bytes, 0xdfb);
+
+    Assembler a;
+    environmentPrologue(a, 0xe0 + 11);
+    a.data(table_base, table);
+    a.data(input_base, input);
+
+    a.movi(R1, static_cast<i64>(table_base));
+    a.movi(R2, static_cast<i64>(input_base));
+    a.movi(R3, static_cast<i64>(input_base + bytes));
+    a.movi(R4, 0); // state
+    a.movi(R9, 0); // accept counter
+    a.label("restart");
+    a.mov(R5, R2);
+    a.label("loop");
+    a.lb(R6, R5, 0);
+    a.andi(R6, R6, 0xff);
+    a.slli(R7, R4, 8);
+    a.add(R7, R7, R6);
+    a.add(R7, R7, R1);
+    a.lb(R8, R7, 0);
+    a.andi(R4, R8, 0xff);
+    a.bne(R4, R0, "next");
+    a.addi(R9, R9, 1); // state 0 is "accepting"
+    a.label("next");
+    a.addi(R5, R5, 1);
+    a.blt(R5, R3, "loop");
+    a.jmp("restart");
+    return a.finish();
+}
+
+isa::Program
+buildBitPack(unsigned symbols)
+{
+    // Variable-width bit packing (Huffman-ish output stage): each
+    // symbol carries a value and a width (1..12 bits); the packer
+    // shifts them into an accumulator and flushes 32-bit words.
+    constexpr Addr sym_base = 0x454c'c000;
+    constexpr Addr out_base = 0x465f'0000;
+
+    Rng rng(0xb17);
+    std::vector<u64> syms(symbols);
+    for (auto &s : syms) {
+        u64 width = 1 + rng.nextBounded(12);
+        u64 value = rng.nextBounded(u64{1} << width);
+        s = value | (width << 32);
+    }
+
+    Assembler a;
+    environmentPrologue(a, 0xe0 + 12);
+    a.dataU64(sym_base, syms);
+
+    a.movi(R1, static_cast<i64>(sym_base));
+    a.movi(R13, static_cast<i64>(sym_base + symbols * 8));
+    a.movi(R2, static_cast<i64>(out_base));
+    a.label("restart");
+    a.mov(R4, R1);  // symbol cursor
+    a.movi(R5, 0);  // bit accumulator
+    a.movi(R6, 0);  // bit count
+    a.mov(R12, R2); // output cursor
+    a.label("loop");
+    a.ld(R7, R4, 0);
+    a.srli(R8, R7, 32);        // width
+    a.andi(R7, R7, 0xffffffffll); // value
+    a.sll(R7, R7, R6);
+    a.or_(R5, R5, R7);
+    a.add(R6, R6, R8);
+    a.slti(R9, R6, 32);
+    a.bne(R9, R0, "no_flush");
+    a.sw(R5, R12, 0);
+    a.srli(R5, R5, 32);
+    a.addi(R12, R12, 4);
+    a.addi(R6, R6, -32);
+    a.label("no_flush");
+    a.addi(R4, R4, 8);
+    a.blt(R4, R13, "loop");
+    a.jmp("restart");
+    return a.finish();
+}
+
+} // namespace carf::workloads

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Integer kernel programs (the SPECint2000 stand-in suite).
+ *
+ * Every kernel runs an unbounded outer loop — the trace cap set by
+ * the caller bounds simulation, mirroring the paper's fixed
+ * instruction windows. Data regions live at distinct high heap bases
+ * so address values are non-simple and cluster into (64-d)-similar
+ * groups, exactly the behaviour §3.2 exploits for the Short file.
+ */
+
+#ifndef CARF_WORKLOADS_INT_KERNELS_HH
+#define CARF_WORKLOADS_INT_KERNELS_HH
+
+#include "isa/instruction.hh"
+
+namespace carf::workloads
+{
+
+/** Random-cycle linked-list traversal (mcf-like memory behaviour). */
+isa::Program buildPointerChase(unsigned nodes = 1 << 14);
+
+/** Open-addressing hash table updates with xorshift keys (long
+ *  values) over a large table region. */
+isa::Program buildHashTable(unsigned log2_slots = 16);
+
+/** Repeated bubble-sort passes over a pseudo-random i64 array
+ *  (compare/branch/swap heavy, gcc-like control). */
+isa::Program buildSortPasses(unsigned elems = 2048);
+
+/** Byte-wise string compare + copy loops over two buffers. */
+isa::Program buildStringOps(unsigned bytes = 1 << 16);
+
+/** CSR graph out-edge sweep (sparse, indirect loads). */
+isa::Program buildGraphWalk(unsigned vertices = 4096,
+                            unsigned avg_degree = 8);
+
+/** Run-length encoding of a runs-filled byte buffer (branchy). */
+isa::Program buildRle(unsigned bytes = 1 << 16);
+
+/** Integer matrix-vector product (mul-heavy, regular addresses). */
+isa::Program buildMatVecInt(unsigned dim = 192);
+
+/** Table-free CRC-style bit mixing over a buffer (long values). */
+isa::Program buildCrc(unsigned bytes = 1 << 16);
+
+/** Nested counter loops over a low-address array (simple values). */
+isa::Program buildCounters(unsigned elems = 256);
+
+/** Binary search tree lookups (pointer chasing with compares,
+ *  twolf/vortex-like). */
+isa::Program buildBstSearch(unsigned nodes = 1 << 13);
+
+/** Table-driven DFA over a byte stream (parser/gcc-like control). */
+isa::Program buildDfaScan(unsigned bytes = 1 << 16,
+                          unsigned states = 16);
+
+/** Variable-width bit packing of small symbols (compression-like
+ *  shift/mask work). */
+isa::Program buildBitPack(unsigned symbols = 1 << 14);
+
+} // namespace carf::workloads
+
+#endif // CARF_WORKLOADS_INT_KERNELS_HH

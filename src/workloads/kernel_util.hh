@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared kernel-construction helpers (internal to src/workloads).
+ */
+
+#ifndef CARF_WORKLOADS_KERNEL_UTIL_HH
+#define CARF_WORKLOADS_KERNEL_UTIL_HH
+
+#include "common/random.hh"
+#include "isa/assembler.hh"
+
+namespace carf::workloads
+{
+
+/**
+ * Populate the callee-saved upper registers (r16-r30) with the value
+ * mix a real program carries after startup: saved pointers into a few
+ * "stack"/"global" regions, small integers, and a couple of wide
+ * values. Without this, unused architectural registers all hold zero
+ * and the live-value statistics (Figures 1-2) overweight the zero
+ * group in a way no real code does.
+ *
+ * Kernels call this before their own setup and must not clobber the
+ * registers they rely on afterwards.
+ */
+inline void
+environmentPrologue(isa::Assembler &a, u64 seed)
+{
+    Rng rng(seed);
+    // Mid-region bases (not on power-of-two boundaries): frame
+    // offsets below the stack pointer then stay within one
+    // (64-d)-similarity group, as they do in a live process.
+    u64 stack_base =
+        0x7fff'f000'0000ull + (rng.nextBounded(64) << 20) + 0x9e38;
+    u64 global_base =
+        0x0060'0000ull + (rng.nextBounded(16) << 16) + 0x4d0;
+
+    using namespace isa;
+    // Saved "stack" pointers: one similarity group.
+    a.movi(R29, static_cast<i64>(stack_base));
+    a.movi(R30, static_cast<i64>(stack_base - 0x1f0));
+    a.movi(R28, static_cast<i64>(stack_base - 0x4d8));
+    // Saved "global"/got pointers: another group.
+    a.movi(R27, static_cast<i64>(global_base));
+    a.movi(R26, static_cast<i64>(global_base + 0x2e8));
+    // Small integers (argc-like, flags, bounds).
+    a.movi(R25, static_cast<i64>(rng.nextBounded(4096)));
+    a.movi(R24, static_cast<i64>(rng.nextBounded(256)));
+    a.movi(R23, -1);
+    // Wide values (environment hashes, seeds).
+    a.movi(R22, static_cast<i64>(rng.next()));
+    a.movi(R21, static_cast<i64>(rng.next()));
+    // Medium (32-bit) values.
+    a.movi(R20, static_cast<i64>(rng.next() >> 32));
+    a.movi(R19, static_cast<i64>(rng.next() >> 32));
+    a.movi(R18, static_cast<i64>(rng.next() >> 40));
+    a.movi(R17, static_cast<i64>(rng.nextBounded(1u << 20)));
+    a.movi(R16, static_cast<i64>(stack_base - 0x800));
+}
+
+} // namespace carf::workloads
+
+#endif // CARF_WORKLOADS_KERNEL_UTIL_HH

@@ -1,0 +1,96 @@
+#include "workloads/synthetic.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "isa/assembler.hh"
+
+namespace carf::workloads
+{
+
+using namespace carf::isa;
+
+isa::Program
+buildSynthetic(const SyntheticParams &params)
+{
+    if (params.regions == 0 || params.regions > 6)
+        fatal("buildSynthetic: regions must be in [1,6]");
+
+    Rng rng(params.seed);
+    Assembler a;
+
+    // Region bases: high, irregular mid bits (heap-like).
+    std::vector<u8> base_regs;
+    for (unsigned r = 0; r < params.regions; ++r) {
+        Addr base = (u64{0x40} + r * 0x13) << 24;
+        Rng fill(params.seed + r + 1);
+        std::vector<u64> words(params.regionBytes / 8);
+        for (auto &w : words) {
+            // Mix of magnitudes: small counters, medium, full random.
+            switch (fill.nextBounded(3)) {
+              case 0: w = fill.nextBounded(1 << 12); break;
+              case 1: w = fill.nextBounded(u64{1} << 28); break;
+              default: w = fill.next(); break;
+            }
+        }
+        a.dataU64(base, words);
+        u8 reg = static_cast<u8>(R1 + r);
+        a.movi(reg, static_cast<i64>(base));
+        base_regs.push_back(reg);
+    }
+
+    i64 index_mask = (static_cast<i64>(params.regionBytes) - 1) & ~7ll;
+
+    a.movi(R10, 0);                       // loop index
+    a.movi(R11, 0x2545f4914f6cdd1dll);    // xorshift state
+    a.movi(R12, 0);                       // small accumulator
+
+    a.label("top");
+
+    unsigned label_id = 0;
+    unsigned emitted = 0;
+    while (emitted < params.bodyLength) {
+        double roll = rng.nextDouble();
+        if (roll < params.loadFraction) {
+            u8 base = base_regs[rng.nextBounded(base_regs.size())];
+            a.add(R13, R10, R12);
+            a.andi(R13, R13, index_mask);
+            a.add(R14, R13, base);
+            a.ld(R15, R14, 0);
+            emitted += 4;
+        } else if (roll < params.loadFraction + params.storeFraction) {
+            u8 base = base_regs[rng.nextBounded(base_regs.size())];
+            a.add(R16, R10, R15);
+            a.andi(R16, R16, index_mask);
+            a.add(R16, R16, base);
+            a.st(R12, R16, 0);
+            emitted += 4;
+        } else if (roll < params.loadFraction + params.storeFraction +
+                              params.branchFraction) {
+            std::string skip = "skip" + std::to_string(label_id++);
+            a.andi(R17, R15, 3);
+            a.bne(R17, R0, skip);
+            a.addi(R12, R12, 1);
+            a.label(skip);
+            emitted += 3;
+        } else if (roll < params.loadFraction + params.storeFraction +
+                              params.branchFraction +
+                              params.longChainFraction) {
+            a.slli(R18, R11, 13);
+            a.xor_(R11, R11, R18);
+            a.srli(R18, R11, 7);
+            a.xor_(R11, R11, R18);
+            emitted += 4;
+        } else {
+            // Simple-value ALU work on small counters.
+            a.addi(R12, R12, 1);
+            a.andi(R12, R12, 0xfff);
+            emitted += 2;
+        }
+    }
+
+    a.addi(R10, R10, 8);
+    a.jmp("top");
+    return a.finish();
+}
+
+} // namespace carf::workloads

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Synthetic workload: a randomly generated program whose dynamic
+ * value mix is calibrated against the paper's Figure 1/2
+ * distributions (value classes, operation mix, branch behaviour).
+ *
+ * Useful as an extra suite member and for stress-testing the
+ * content-aware mechanisms with controllable knobs.
+ */
+
+#ifndef CARF_WORKLOADS_SYNTHETIC_HH
+#define CARF_WORKLOADS_SYNTHETIC_HH
+
+#include "isa/instruction.hh"
+
+namespace carf::workloads
+{
+
+/** Knobs of the synthetic program generator. */
+struct SyntheticParams
+{
+    u64 seed = 0x5eed;
+    /** Static body length in instructions (one big loop). */
+    unsigned bodyLength = 400;
+    /** Probability a generated op is a load. */
+    double loadFraction = 0.22;
+    /** Probability a generated op is a store. */
+    double storeFraction = 0.12;
+    /** Probability a generated op is a conditional branch. */
+    double branchFraction = 0.12;
+    /** Probability an ALU op continues a long-value (hash) chain. */
+    double longChainFraction = 0.15;
+    /** Number of distinct memory regions (short value groups). */
+    unsigned regions = 4;
+    /** Bytes per region (power of two). */
+    unsigned regionBytes = 1 << 16;
+};
+
+/** Build the synthetic program. */
+isa::Program buildSynthetic(const SyntheticParams &params = {});
+
+} // namespace carf::workloads
+
+#endif // CARF_WORKLOADS_SYNTHETIC_HH

@@ -1,0 +1,78 @@
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "workloads/fp_kernels.hh"
+#include "workloads/int_kernels.hh"
+#include "workloads/synthetic.hh"
+
+namespace carf::workloads
+{
+
+std::unique_ptr<emu::TraceSource>
+makeTrace(const Workload &workload, u64 max_insts)
+{
+    return std::make_unique<emu::Emulator>(workload.build(),
+                                           workload.name, max_insts);
+}
+
+const std::vector<Workload> &
+intSuite()
+{
+    static const std::vector<Workload> suite = {
+        {"pointer_chase", Suite::Int, [] { return buildPointerChase(); }},
+        {"hash_table", Suite::Int, [] { return buildHashTable(); }},
+        {"sort_passes", Suite::Int, [] { return buildSortPasses(); }},
+        {"string_ops", Suite::Int, [] { return buildStringOps(); }},
+        {"graph_walk", Suite::Int, [] { return buildGraphWalk(); }},
+        {"rle", Suite::Int, [] { return buildRle(); }},
+        {"matvec_int", Suite::Int, [] { return buildMatVecInt(); }},
+        {"crc", Suite::Int, [] { return buildCrc(); }},
+        {"counters", Suite::Int, [] { return buildCounters(); }},
+        {"bst_search", Suite::Int, [] { return buildBstSearch(); }},
+        {"dfa_scan", Suite::Int, [] { return buildDfaScan(); }},
+        {"bit_pack", Suite::Int, [] { return buildBitPack(); }},
+        {"synthetic_int", Suite::Int, [] { return buildSynthetic(); }},
+    };
+    return suite;
+}
+
+const std::vector<Workload> &
+fpSuite()
+{
+    static const std::vector<Workload> suite = {
+        {"daxpy", Suite::Fp, [] { return buildDaxpy(); }},
+        {"stencil", Suite::Fp, [] { return buildStencil(); }},
+        {"matmul", Suite::Fp, [] { return buildMatMul(); }},
+        {"dot_reduce", Suite::Fp, [] { return buildDotReduce(); }},
+        {"monte_carlo", Suite::Fp, [] { return buildMonteCarlo(); }},
+        {"jacobi", Suite::Fp, [] { return buildJacobi(); }},
+        {"fft_butterfly", Suite::Fp, [] { return buildFftButterfly(); }},
+        {"nbody", Suite::Fp, [] { return buildNbody(); }},
+    };
+    return suite;
+}
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> all = [] {
+        std::vector<Workload> v = intSuite();
+        const auto &fp = fpSuite();
+        v.insert(v.end(), fp.begin(), fp.end());
+        return v;
+    }();
+    return all;
+}
+
+const Workload &
+findWorkload(const std::string &name)
+{
+    for (const Workload &w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("unknown workload '%s'", name.c_str());
+    __builtin_unreachable();
+}
+
+} // namespace carf::workloads

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Workload registry: the SPEC2000 stand-in suites.
+ *
+ * Each workload is a kernel program written in the CARF ISA whose
+ * dynamic value stream exercises one of the value-behaviour classes
+ * the paper identifies: address computation over separated heap
+ * regions (short values), small counters and flags (simple values),
+ * and hash/CRC payloads (long values). See DESIGN.md §2 for the
+ * substitution rationale.
+ */
+
+#ifndef CARF_WORKLOADS_WORKLOAD_HH
+#define CARF_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "emu/emulator.hh"
+#include "isa/instruction.hh"
+
+namespace carf::workloads
+{
+
+/** Which averaged suite (paper: SPECint vs SPECfp) a kernel joins. */
+enum class Suite
+{
+    Int,
+    Fp,
+};
+
+/** A named kernel with a program factory. */
+struct Workload
+{
+    std::string name;
+    Suite suite;
+    std::function<isa::Program()> build;
+};
+
+/**
+ * Instantiate a streaming dynamic trace for @p workload, capped at
+ * @p max_insts dynamic instructions.
+ */
+std::unique_ptr<emu::TraceSource> makeTrace(const Workload &workload,
+                                            u64 max_insts);
+
+/** The integer suite (the paper's SPECint2000 stand-in). */
+const std::vector<Workload> &intSuite();
+/** The floating-point suite (the paper's SPECfp2000 stand-in). */
+const std::vector<Workload> &fpSuite();
+/** Both suites concatenated. */
+const std::vector<Workload> &allWorkloads();
+
+/** Lookup by name; fatal() when unknown. */
+const Workload &findWorkload(const std::string &name);
+
+} // namespace carf::workloads
+
+#endif // CARF_WORKLOADS_WORKLOAD_HH

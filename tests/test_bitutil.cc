@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the bit-manipulation helpers underlying the value
+ * classifier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+
+namespace carf
+{
+
+TEST(BitUtil, BitsExtractsField)
+{
+    EXPECT_EQ(bits(0xdeadbeefcafef00dull, 0, 8), 0x0dull);
+    EXPECT_EQ(bits(0xdeadbeefcafef00dull, 8, 8), 0xf0ull);
+    EXPECT_EQ(bits(0xdeadbeefcafef00dull, 32, 32), 0xdeadbeefull);
+    EXPECT_EQ(bits(~0ull, 0, 64), ~0ull);
+}
+
+TEST(BitUtil, MaskCoversRange)
+{
+    EXPECT_EQ(mask(0, 4), 0xfull);
+    EXPECT_EQ(mask(4, 4), 0xf0ull);
+    EXPECT_EQ(mask(0, 64), ~0ull);
+    EXPECT_EQ(mask(63, 1), 0x8000000000000000ull);
+}
+
+TEST(BitUtil, SignExtendPositive)
+{
+    EXPECT_EQ(signExtend(0x7f, 8), 0x7full);
+    EXPECT_EQ(signExtend(0x0123, 16), 0x0123ull);
+}
+
+TEST(BitUtil, SignExtendNegative)
+{
+    EXPECT_EQ(signExtend(0x80, 8), 0xffffffffffffff80ull);
+    EXPECT_EQ(signExtend(0xffff, 16), ~0ull);
+}
+
+TEST(BitUtil, SignExtendFullWidthIsIdentity)
+{
+    EXPECT_EQ(signExtend(0x8000000000000000ull, 64),
+              0x8000000000000000ull);
+}
+
+TEST(BitUtil, FitsSignedBoundaries)
+{
+    EXPECT_TRUE(fitsSigned(0, 8));
+    EXPECT_TRUE(fitsSigned(127, 8));
+    EXPECT_FALSE(fitsSigned(128, 8));
+    EXPECT_TRUE(fitsSigned(static_cast<u64>(-128), 8));
+    EXPECT_FALSE(fitsSigned(static_cast<u64>(-129), 8));
+    EXPECT_TRUE(fitsSigned(~0ull, 1));
+    EXPECT_TRUE(fitsSigned(0x12345678ull, 64));
+}
+
+TEST(BitUtil, FitsSignedTwentyBits)
+{
+    // The paper's chosen d+n = 20.
+    EXPECT_TRUE(fitsSigned((1ull << 19) - 1, 20));
+    EXPECT_FALSE(fitsSigned(1ull << 19, 20));
+    EXPECT_TRUE(fitsSigned(static_cast<u64>(-(1ll << 19)), 20));
+    EXPECT_FALSE(fitsSigned(static_cast<u64>(-(1ll << 19) - 1), 20));
+}
+
+TEST(BitUtil, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(48), 6u);
+    EXPECT_EQ(log2Ceil(64), 6u);
+    EXPECT_EQ(log2Ceil(65), 7u);
+    EXPECT_EQ(log2Ceil(112), 7u);
+    EXPECT_EQ(log2Ceil(160), 8u);
+}
+
+TEST(BitUtil, IsPowerOf2)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_TRUE(isPowerOf2(1ull << 63));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(48));
+}
+
+TEST(BitUtil, SimilarityTagMatchesDefinition)
+{
+    // Two values are (64-d)-similar iff their top 64-d bits match.
+    u64 a = 0x0000123400567890ull;
+    u64 b = 0x000012340056ffffull;
+    EXPECT_EQ(similarityTag(a, 16), similarityTag(b, 16));
+    EXPECT_NE(similarityTag(a, 8), similarityTag(b, 8));
+}
+
+TEST(BitUtil, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(~0ull), 64u);
+    EXPECT_EQ(popCount(0xf0f0ull), 8u);
+}
+
+} // namespace carf

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Differential testing: random straight-line ALU programs are
+ * executed both by the emulator and by a host-side mirror of the ISA
+ * semantics; the architectural results must agree bit-for-bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+#include "common/random.hh"
+#include "emu/emulator.hh"
+#include "isa/assembler.hh"
+#include "workloads/kernel_util.hh"
+
+namespace carf
+{
+
+using namespace carf::isa;
+
+namespace
+{
+
+/** Host-side mirror of the integer ALU semantics. */
+u64
+hostAlu(Opcode op, u64 s1, u64 s2, i64 imm)
+{
+    u64 uimm = static_cast<u64>(imm);
+    switch (op) {
+      case Opcode::ADD: return s1 + s2;
+      case Opcode::SUB: return s1 - s2;
+      case Opcode::AND: return s1 & s2;
+      case Opcode::OR: return s1 | s2;
+      case Opcode::XOR: return s1 ^ s2;
+      case Opcode::SLL: return s1 << (s2 & 63);
+      case Opcode::SRL: return s1 >> (s2 & 63);
+      case Opcode::SRA:
+        return static_cast<u64>(static_cast<i64>(s1) >> (s2 & 63));
+      case Opcode::SLT:
+        return static_cast<i64>(s1) < static_cast<i64>(s2) ? 1 : 0;
+      case Opcode::SLTU: return s1 < s2 ? 1 : 0;
+      case Opcode::MUL: return s1 * s2;
+      case Opcode::ADDI: return s1 + uimm;
+      case Opcode::ANDI: return s1 & uimm;
+      case Opcode::ORI: return s1 | uimm;
+      case Opcode::XORI: return s1 ^ uimm;
+      case Opcode::SLLI: return s1 << (uimm & 63);
+      case Opcode::SRLI: return s1 >> (uimm & 63);
+      case Opcode::SRAI:
+        return static_cast<u64>(static_cast<i64>(s1) >> (uimm & 63));
+      case Opcode::SLTI:
+        return static_cast<i64>(s1) < imm ? 1 : 0;
+      default:
+        ADD_FAILURE() << "unexpected opcode";
+        return 0;
+    }
+}
+
+const Opcode kRegRegOps[] = {Opcode::ADD, Opcode::SUB, Opcode::AND,
+                             Opcode::OR, Opcode::XOR, Opcode::SLL,
+                             Opcode::SRL, Opcode::SRA, Opcode::SLT,
+                             Opcode::SLTU, Opcode::MUL};
+const Opcode kRegImmOps[] = {Opcode::ADDI, Opcode::ANDI, Opcode::ORI,
+                             Opcode::XORI, Opcode::SLLI, Opcode::SRLI,
+                             Opcode::SRAI, Opcode::SLTI};
+
+} // namespace
+
+class DifferentialAlu : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(DifferentialAlu, RandomProgramMatchesHostMirror)
+{
+    Rng rng(GetParam());
+    u64 host_regs[isa::numArchRegs] = {};
+
+    Assembler a;
+    // Seed registers r1..r15 with random values, mirrored on the
+    // host.
+    for (u8 r = 1; r <= 15; ++r) {
+        u64 v = rng.next() >> rng.nextBounded(56);
+        a.movi(r, static_cast<i64>(v));
+        host_regs[r] = v;
+    }
+
+    // 300 random ALU ops over r1..r15.
+    for (int i = 0; i < 300; ++i) {
+        u8 rd = static_cast<u8>(1 + rng.nextBounded(15));
+        u8 rs1 = static_cast<u8>(rng.nextBounded(16));
+        if (rng.chance(0.6)) {
+            Opcode op = kRegRegOps[rng.nextBounded(
+                sizeof(kRegRegOps) / sizeof(kRegRegOps[0]))];
+            u8 rs2 = static_cast<u8>(rng.nextBounded(16));
+            switch (op) {
+              case Opcode::ADD: a.add(rd, rs1, rs2); break;
+              case Opcode::SUB: a.sub(rd, rs1, rs2); break;
+              case Opcode::AND: a.and_(rd, rs1, rs2); break;
+              case Opcode::OR: a.or_(rd, rs1, rs2); break;
+              case Opcode::XOR: a.xor_(rd, rs1, rs2); break;
+              case Opcode::SLL: a.sll(rd, rs1, rs2); break;
+              case Opcode::SRL: a.srl(rd, rs1, rs2); break;
+              case Opcode::SRA: a.sra(rd, rs1, rs2); break;
+              case Opcode::SLT: a.slt(rd, rs1, rs2); break;
+              case Opcode::SLTU: a.sltu(rd, rs1, rs2); break;
+              default: a.mul(rd, rs1, rs2); break;
+            }
+            host_regs[rd] =
+                hostAlu(op, host_regs[rs1], host_regs[rs2], 0);
+        } else {
+            Opcode op = kRegImmOps[rng.nextBounded(
+                sizeof(kRegImmOps) / sizeof(kRegImmOps[0]))];
+            bool shift = op == Opcode::SLLI || op == Opcode::SRLI ||
+                         op == Opcode::SRAI;
+            i64 imm = shift ? static_cast<i64>(rng.nextBounded(64))
+                            : rng.nextRange(-(1 << 20), 1 << 20);
+            switch (op) {
+              case Opcode::ADDI: a.addi(rd, rs1, imm); break;
+              case Opcode::ANDI: a.andi(rd, rs1, imm); break;
+              case Opcode::ORI: a.ori(rd, rs1, imm); break;
+              case Opcode::XORI: a.xori(rd, rs1, imm); break;
+              case Opcode::SLLI: a.slli(rd, rs1, imm); break;
+              case Opcode::SRLI: a.srli(rd, rs1, imm); break;
+              case Opcode::SRAI: a.srai(rd, rs1, imm); break;
+              default: a.slti(rd, rs1, imm); break;
+            }
+            host_regs[rd] = hostAlu(op, host_regs[rs1], 0, imm);
+        }
+    }
+    a.halt();
+
+    emu::Emulator emulator(a.finish(), "diff");
+    emu::DynOp op;
+    while (emulator.next(op)) {
+    }
+
+    for (unsigned r = 0; r < isa::numArchRegs; ++r)
+        EXPECT_EQ(emulator.intReg(r), host_regs[r]) << "r" << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialAlu,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u));
+
+TEST(EnvironmentPrologue, PopulatesUpperRegisters)
+{
+    isa::Assembler a;
+    workloads::environmentPrologue(a, 0x123);
+    a.halt();
+    emu::Emulator emulator(a.finish(), "prologue");
+    emu::DynOp op;
+    while (emulator.next(op)) {
+    }
+
+    // All of r16..r30 hold nonzero values...
+    unsigned nonzero = 0, wide = 0, small = 0;
+    for (unsigned r = 16; r <= 30; ++r) {
+        u64 v = emulator.intReg(r);
+        nonzero += v != 0;
+        wide += v > (u64{1} << 40);
+        small += v != 0 && v < (1 << 20);
+    }
+    EXPECT_EQ(nonzero, 15u);
+    // ...with a mix of magnitudes (pointers, wide hashes, small ints).
+    EXPECT_GE(wide, 4u);
+    EXPECT_GE(small, 2u);
+}
+
+TEST(EnvironmentPrologue, StackPointersFormSimilarityGroup)
+{
+    isa::Assembler a;
+    workloads::environmentPrologue(a, 0x456);
+    a.halt();
+    emu::Emulator emulator(a.finish(), "prologue");
+    emu::DynOp op;
+    while (emulator.next(op)) {
+    }
+    // r29/r30/r28 are stack-frame pointers: (64-16)-similar.
+    u64 sp = emulator.intReg(29);
+    EXPECT_EQ(similarityTag(sp, 16),
+              similarityTag(emulator.intReg(30), 16));
+    EXPECT_EQ(similarityTag(sp, 16),
+              similarityTag(emulator.intReg(28), 16));
+}
+
+} // namespace carf

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Functional tests of the emulator: per-opcode semantics, memory,
+ * control flow, the zero register, and the trace records.
+ */
+
+#include <gtest/gtest.h>
+
+#include "emu/emulator.hh"
+#include "isa/assembler.hh"
+
+namespace carf
+{
+
+using namespace carf::isa;
+using emu::DynOp;
+using emu::Emulator;
+
+namespace
+{
+
+/** Run a halting program to completion; return the emulator. */
+Emulator
+runProgram(Program program)
+{
+    Emulator emulator(std::move(program), "test");
+    DynOp op;
+    while (emulator.next(op)) {
+    }
+    EXPECT_TRUE(emulator.halted());
+    return emulator;
+}
+
+} // namespace
+
+TEST(Emulator, ArithmeticBasics)
+{
+    Assembler a;
+    a.movi(R1, 20);
+    a.movi(R2, 22);
+    a.add(R3, R1, R2);
+    a.sub(R4, R1, R2);
+    a.mul(R5, R1, R2);
+    a.halt();
+    auto emulator = runProgram(a.finish());
+    EXPECT_EQ(emulator.intReg(R3), 42u);
+    EXPECT_EQ(emulator.intReg(R4), static_cast<u64>(-2));
+    EXPECT_EQ(emulator.intReg(R5), 440u);
+}
+
+TEST(Emulator, LogicAndShifts)
+{
+    Assembler a;
+    a.movi(R1, 0xf0f0);
+    a.movi(R2, 0x0ff0);
+    a.and_(R3, R1, R2);
+    a.or_(R4, R1, R2);
+    a.xor_(R5, R1, R2);
+    a.slli(R6, R1, 4);
+    a.srli(R7, R1, 4);
+    a.movi(R8, -16);
+    a.srai(R9, R8, 2);
+    a.halt();
+    auto emulator = runProgram(a.finish());
+    EXPECT_EQ(emulator.intReg(R3), 0x00f0u);
+    EXPECT_EQ(emulator.intReg(R4), 0xfff0u);
+    EXPECT_EQ(emulator.intReg(R5), 0xff00u);
+    EXPECT_EQ(emulator.intReg(R6), 0xf0f00u);
+    EXPECT_EQ(emulator.intReg(R7), 0xf0fu);
+    EXPECT_EQ(emulator.intReg(R9), static_cast<u64>(-4));
+}
+
+TEST(Emulator, Comparisons)
+{
+    Assembler a;
+    a.movi(R1, -5);
+    a.movi(R2, 3);
+    a.slt(R3, R1, R2);  // signed: -5 < 3 -> 1
+    a.sltu(R4, R1, R2); // unsigned: huge < 3 -> 0
+    a.slti(R5, R2, 10);
+    a.halt();
+    auto emulator = runProgram(a.finish());
+    EXPECT_EQ(emulator.intReg(R3), 1u);
+    EXPECT_EQ(emulator.intReg(R4), 0u);
+    EXPECT_EQ(emulator.intReg(R5), 1u);
+}
+
+TEST(Emulator, DivisionAndRemainderIncludingZeroDivisor)
+{
+    Assembler a;
+    a.movi(R1, -7);
+    a.movi(R2, 2);
+    a.divx(R3, R1, R2);
+    a.remx(R4, R1, R2);
+    a.divx(R5, R1, R0); // divide by zero: all ones
+    a.remx(R6, R1, R0); // remainder by zero: dividend
+    a.halt();
+    auto emulator = runProgram(a.finish());
+    EXPECT_EQ(emulator.intReg(R3), static_cast<u64>(-3));
+    EXPECT_EQ(emulator.intReg(R4), static_cast<u64>(-1));
+    EXPECT_EQ(emulator.intReg(R5), ~0ull);
+    EXPECT_EQ(emulator.intReg(R6), static_cast<u64>(-7));
+}
+
+TEST(Emulator, ZeroRegisterIsImmutable)
+{
+    Assembler a;
+    a.movi(R0, 99);
+    a.addi(R0, R0, 5);
+    a.add(R1, R0, R0);
+    a.halt();
+    auto emulator = runProgram(a.finish());
+    EXPECT_EQ(emulator.intReg(R0), 0u);
+    EXPECT_EQ(emulator.intReg(R1), 0u);
+}
+
+TEST(Emulator, MemoryRoundTripAllWidths)
+{
+    Assembler a;
+    a.movi(R1, 0x5000);
+    a.movi(R2, -2);        // 0xfff...fe
+    a.st(R2, R1, 0);
+    a.ld(R3, R1, 0);
+    a.sw(R2, R1, 16);
+    a.lw(R4, R1, 16);      // sign-extended 32-bit
+    a.sb(R2, R1, 32);
+    a.lb(R5, R1, 32);      // sign-extended 8-bit
+    a.halt();
+    auto emulator = runProgram(a.finish());
+    EXPECT_EQ(emulator.intReg(R3), static_cast<u64>(-2));
+    EXPECT_EQ(emulator.intReg(R4), static_cast<u64>(-2));
+    EXPECT_EQ(emulator.intReg(R5), static_cast<u64>(-2));
+}
+
+TEST(Emulator, DataSegmentPreloaded)
+{
+    Assembler a;
+    a.dataU64(0x2000, {0x1111, 0x2222});
+    a.movi(R1, 0x2000);
+    a.ld(R2, R1, 8);
+    a.halt();
+    auto emulator = runProgram(a.finish());
+    EXPECT_EQ(emulator.intReg(R2), 0x2222u);
+}
+
+TEST(Emulator, BranchTakenAndNotTaken)
+{
+    Assembler a;
+    a.movi(R1, 1);
+    a.beq(R1, R0, "skip"); // not taken
+    a.addi(R2, R2, 10);
+    a.label("skip");
+    a.bne(R1, R0, "skip2"); // taken
+    a.addi(R2, R2, 100);    // skipped
+    a.label("skip2");
+    a.halt();
+    auto emulator = runProgram(a.finish());
+    EXPECT_EQ(emulator.intReg(R2), 10u);
+}
+
+TEST(Emulator, AllConditionalBranchPredicates)
+{
+    Assembler a;
+    a.movi(R1, -1);
+    a.movi(R2, 1);
+    a.movi(R10, 0);
+    a.blt(R1, R2, "l1"); // signed taken
+    a.halt();
+    a.label("l1");
+    a.bge(R2, R1, "l2"); // signed taken
+    a.halt();
+    a.label("l2");
+    a.bltu(R2, R1, "l3"); // unsigned: 1 < huge, taken
+    a.halt();
+    a.label("l3");
+    a.bgeu(R1, R2, "l4"); // unsigned taken
+    a.halt();
+    a.label("l4");
+    a.addi(R10, R10, 1);
+    a.halt();
+    auto emulator = runProgram(a.finish());
+    EXPECT_EQ(emulator.intReg(R10), 1u);
+}
+
+TEST(Emulator, JalAndJalrLinkage)
+{
+    Assembler a;
+    a.jal(R31, "func"); // pc 0 -> link 1
+    a.addi(R2, R2, 1);  // pc 1 (return lands here)
+    a.halt();           // pc 2
+    a.label("func");    // pc 3
+    a.addi(R3, R3, 1);
+    a.jalr(R0, R31, 0); // return
+    auto emulator = runProgram(a.finish());
+    EXPECT_EQ(emulator.intReg(R2), 1u);
+    EXPECT_EQ(emulator.intReg(R3), 1u);
+    EXPECT_EQ(emulator.intReg(R31), 1u);
+}
+
+TEST(Emulator, FloatingPointArithmetic)
+{
+    Assembler a;
+    a.dataF64(0x3000, {1.5, 2.5});
+    a.movi(R1, 0x3000);
+    a.fld(F1, R1, 0);
+    a.fld(F2, R1, 8);
+    a.fadd(F3, F1, F2);
+    a.fmul(F4, F1, F2);
+    a.fsub(F5, F2, F1);
+    a.fdiv(F6, F2, F1);
+    a.fneg(F7, F1);
+    a.fst(F3, R1, 16);
+    a.halt();
+    auto emulator = runProgram(a.finish());
+    EXPECT_DOUBLE_EQ(emulator.fpReg(F3), 4.0);
+    EXPECT_DOUBLE_EQ(emulator.fpReg(F4), 3.75);
+    EXPECT_DOUBLE_EQ(emulator.fpReg(F5), 1.0);
+    EXPECT_DOUBLE_EQ(emulator.fpReg(F6), 2.5 / 1.5);
+    EXPECT_DOUBLE_EQ(emulator.fpReg(F7), -1.5);
+    EXPECT_DOUBLE_EQ(emulator.memory().readF64(0x3010), 4.0);
+}
+
+TEST(Emulator, IntFpConversions)
+{
+    Assembler a;
+    a.movi(R1, -3);
+    a.fcvtif(F1, R1);
+    a.fcvtfi(R2, F1);
+    a.halt();
+    auto emulator = runProgram(a.finish());
+    EXPECT_DOUBLE_EQ(emulator.fpReg(F1), -3.0);
+    EXPECT_EQ(emulator.intReg(R2), static_cast<u64>(-3));
+}
+
+TEST(Emulator, TraceRecordsCarryValues)
+{
+    Assembler a;
+    a.movi(R1, 5);
+    a.movi(R2, 7);
+    a.add(R3, R1, R2);
+    a.st(R3, R1, 3);
+    a.halt();
+    Emulator emulator(a.finish(), "trace-test");
+
+    DynOp op;
+    ASSERT_TRUE(emulator.next(op)); // movi r1
+    EXPECT_EQ(op.rdValue, 5u);
+    EXPECT_EQ(op.seq, 0u);
+    ASSERT_TRUE(emulator.next(op)); // movi r2
+    ASSERT_TRUE(emulator.next(op)); // add
+    EXPECT_EQ(op.rs1Value, 5u);
+    EXPECT_EQ(op.rs2Value, 7u);
+    EXPECT_EQ(op.rdValue, 12u);
+    EXPECT_TRUE(op.writesIntReg());
+    ASSERT_TRUE(emulator.next(op)); // store
+    EXPECT_EQ(op.effAddr, 8u);
+    EXPECT_EQ(op.rs2Value, 12u);
+    EXPECT_FALSE(op.writesReg());
+    ASSERT_TRUE(emulator.next(op)); // halt
+    EXPECT_FALSE(emulator.next(op));
+}
+
+TEST(Emulator, BranchTraceRecordsOutcome)
+{
+    Assembler a;
+    a.movi(R1, 1);
+    a.bne(R1, R0, "t");
+    a.nop();
+    a.label("t");
+    a.halt();
+    Emulator emulator(a.finish(), "branch-test");
+    DynOp op;
+    emulator.next(op);
+    emulator.next(op);
+    EXPECT_TRUE(op.isBranch());
+    EXPECT_TRUE(op.taken);
+    EXPECT_EQ(op.nextPc, 3u);
+}
+
+TEST(Emulator, InstructionBudgetCapsStream)
+{
+    Assembler a;
+    a.label("spin");
+    a.addi(R1, R1, 1);
+    a.jmp("spin");
+    Emulator emulator(a.finish(), "cap-test", 100);
+    DynOp op;
+    u64 count = 0;
+    while (emulator.next(op))
+        ++count;
+    EXPECT_EQ(count, 100u);
+    EXPECT_EQ(emulator.executedInsts(), 100u);
+}
+
+TEST(Emulator, WritesIntRegFalseForR0Dest)
+{
+    Assembler a;
+    a.jal(R0, "next");
+    a.label("next");
+    a.halt();
+    Emulator emulator(a.finish(), "r0-test");
+    DynOp op;
+    emulator.next(op);
+    EXPECT_FALSE(op.writesIntReg());
+}
+
+} // namespace carf

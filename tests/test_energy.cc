@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the Rixner-style area/delay/energy model: monotonicity
+ * properties, the paper's calibration anchors, and the content-aware
+ * geometry builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/report.hh"
+#include "energy/rixner.hh"
+
+namespace carf::energy
+{
+
+namespace
+{
+
+regfile::ContentAwareParams
+paperCa(unsigned dn = 20)
+{
+    regfile::ContentAwareParams p;
+    p.sim = {dn - 3, 3};
+    p.longEntries = 48;
+    return p;
+}
+
+} // namespace
+
+TEST(RixnerModel, AreaMonotonicInEntriesWidthPorts)
+{
+    RixnerModel model;
+    RegFileGeometry base{64, 32, 8, 4};
+    EXPECT_GT(model.area({128, 32, 8, 4}), model.area(base));
+    EXPECT_GT(model.area({64, 64, 8, 4}), model.area(base));
+    EXPECT_GT(model.area({64, 32, 16, 4}), model.area(base));
+    EXPECT_GT(model.area({64, 32, 8, 8}), model.area(base));
+}
+
+TEST(RixnerModel, EnergyMonotonicInEntriesWidthPorts)
+{
+    RixnerModel model;
+    RegFileGeometry base{64, 32, 8, 4};
+    EXPECT_GT(model.readEnergy({128, 32, 8, 4}),
+              model.readEnergy(base));
+    EXPECT_GT(model.readEnergy({64, 64, 8, 4}), model.readEnergy(base));
+    EXPECT_GT(model.readEnergy({64, 32, 16, 4}),
+              model.readEnergy(base));
+}
+
+TEST(RixnerModel, DelayMonotonicInEntriesAndWidth)
+{
+    RixnerModel model;
+    RegFileGeometry base{64, 32, 8, 4};
+    EXPECT_GT(model.accessTime({256, 32, 8, 4}),
+              model.accessTime(base));
+    EXPECT_GT(model.accessTime({64, 128, 8, 4}),
+              model.accessTime(base));
+}
+
+TEST(RixnerModel, WriteCostsMoreThanRead)
+{
+    RixnerModel model;
+    RegFileGeometry g{112, 64, 8, 6};
+    EXPECT_GT(model.writeEnergy(g), model.readEnergy(g));
+}
+
+TEST(RixnerModel, PortScalingIsSuperlinearInArea)
+{
+    // Doubling ports should more than double cell area contribution
+    // for port-dominated cells (the classic P^2 effect).
+    RixnerModel model;
+    double a1 = model.area({64, 64, 8, 4});  // 12 ports
+    double a2 = model.area({64, 64, 16, 8}); // 24 ports
+    EXPECT_GT(a2 / a1, 1.7);
+}
+
+TEST(Calibration, BaselinePerAccessEnergyNearPaper)
+{
+    // Paper Table 3: baseline = 48.8% of the unlimited file.
+    RixnerModel model;
+    double ratio = model.readEnergy(baselineGeometry()) /
+                   model.readEnergy(unlimitedGeometry());
+    EXPECT_NEAR(ratio, 0.488, 0.02);
+}
+
+TEST(Calibration, SubFileEnergiesNearPaperAtChosenPoint)
+{
+    // Paper Table 3 at d+n=20: simple 10.8%, short 2.9%, long 16.9%.
+    RixnerModel model;
+    double unlimited = model.readEnergy(unlimitedGeometry());
+    auto geom = caGeometry(112, paperCa());
+    EXPECT_NEAR(model.readEnergy(geom.simple) / unlimited, 0.108, 0.02);
+    EXPECT_NEAR(model.readEnergy(geom.shortFile) / unlimited, 0.029,
+                0.02);
+    EXPECT_NEAR(model.readEnergy(geom.longFile) / unlimited, 0.169,
+                0.02);
+}
+
+TEST(Calibration, AreaReductionNearPaper)
+{
+    // Paper Figure 8: content-aware = 82.1% of baseline.
+    RixnerModel model;
+    double ratio = caTotalArea(model, caGeometry(112, paperCa())) /
+                   model.area(baselineGeometry());
+    EXPECT_NEAR(ratio, 0.821, 0.04);
+}
+
+TEST(Calibration, AccessTimeHeadroomNearPaper)
+{
+    // Paper Figure 9 / §5: up to ~15% clock headroom.
+    RixnerModel model;
+    double slowest = caMaxAccessTime(model, caGeometry(112, paperCa()));
+    double baseline = model.accessTime(baselineGeometry());
+    double headroom = baseline / slowest - 1.0;
+    EXPECT_GT(headroom, 0.10);
+    EXPECT_LT(headroom, 0.25);
+}
+
+TEST(Calibration, EverySubFileFasterThanBaseline)
+{
+    RixnerModel model;
+    double baseline = model.accessTime(baselineGeometry());
+    for (unsigned dn : {8u, 12u, 16u, 20u, 24u, 28u, 32u}) {
+        auto geom = caGeometry(112, paperCa(dn));
+        EXPECT_LT(model.accessTime(geom.simple), baseline) << dn;
+        EXPECT_LT(model.accessTime(geom.shortFile), baseline) << dn;
+        EXPECT_LT(model.accessTime(geom.longFile), baseline) << dn;
+    }
+}
+
+TEST(CaGeometry, WidthsFollowDefinition)
+{
+    auto geom = caGeometry(112, paperCa());
+    // Simple: d+n value field + 2-bit RD.
+    EXPECT_EQ(geom.simple.entries, 112u);
+    EXPECT_EQ(geom.simple.widthBits, 22u);
+    // Short: 2^n entries of 64-d-n bits, extra probe read ports.
+    EXPECT_EQ(geom.shortFile.entries, 8u);
+    EXPECT_EQ(geom.shortFile.widthBits, 44u);
+    EXPECT_EQ(geom.shortFile.readPorts, 14u);
+    // Long: K entries of 64-d-n+m bits.
+    EXPECT_EQ(geom.longFile.entries, 48u);
+    EXPECT_EQ(geom.longFile.widthBits, 50u);
+}
+
+TEST(CaGeometry, TrendsAcrossDn)
+{
+    RixnerModel model;
+    double prev_simple = 0.0;
+    double prev_long = 1e18;
+    for (unsigned dn : {8u, 12u, 16u, 20u, 24u, 28u, 32u}) {
+        auto geom = caGeometry(112, paperCa(dn));
+        double simple = model.readEnergy(geom.simple);
+        double long_e = model.readEnergy(geom.longFile);
+        EXPECT_GT(simple, prev_simple) << dn; // wider simple field
+        EXPECT_LT(long_e, prev_long) << dn;   // narrower long entries
+        prev_simple = simple;
+        prev_long = long_e;
+    }
+}
+
+TEST(EnergyAccounting, ConventionalUsesReadsAndWrites)
+{
+    RixnerModel model;
+    RegFileGeometry g = baselineGeometry();
+    regfile::AccessCounts counts;
+    counts.reads[0] = 10;
+    counts.writes[2] = 5;
+    double expected =
+        10 * model.readEnergy(g) + 5 * model.writeEnergy(g);
+    EXPECT_DOUBLE_EQ(conventionalEnergy(model, g, counts), expected);
+}
+
+TEST(EnergyAccounting, ContentAwareChargesSubFiles)
+{
+    RixnerModel model;
+    auto geom = caGeometry(112, paperCa());
+    regfile::AccessCounts counts;
+    counts.reads[0] = 4; // simple-typed reads: simple file only
+    counts.reads[2] = 2; // long-typed reads: simple + long
+    counts.writes[1] = 3; // short-typed writes: simple file only
+    counts.shortProbeReads = 3;
+    double expected = 6 * model.readEnergy(geom.simple) +
+                      2 * model.readEnergy(geom.longFile) +
+                      3 * model.writeEnergy(geom.simple) +
+                      3 * model.readEnergy(geom.shortFile) +
+                      1 * model.writeEnergy(geom.shortFile);
+    EXPECT_DOUBLE_EQ(contentAwareEnergy(model, geom, counts, 1),
+                     expected);
+}
+
+TEST(EnergyAccounting, ContentAwareBeatsBaselineOnTypicalMix)
+{
+    // With the paper's access mix (mostly simple/short), the
+    // content-aware file must use less energy per access overall.
+    RixnerModel model;
+    auto geom = caGeometry(112, paperCa());
+    regfile::AccessCounts counts;
+    counts.reads[0] = 400;
+    counts.reads[1] = 350;
+    counts.reads[2] = 250;
+    counts.writes[0] = 300;
+    counts.writes[1] = 250;
+    counts.writes[2] = 150;
+    counts.shortProbeReads = 700;
+    double ca = contentAwareEnergy(model, geom, counts, 50);
+    double baseline =
+        conventionalEnergy(model, baselineGeometry(), counts);
+    EXPECT_LT(ca, 0.75 * baseline);
+}
+
+} // namespace carf::energy

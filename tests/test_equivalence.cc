@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Cross-model equivalence tests: after committing the same dynamic
+ * instruction stream, the timing pipeline's architectural register
+ * state (read through the rename map out of the modelled register
+ * files, including the content-aware reconstruction path) must equal
+ * the pure functional emulator's state. This closes the loop between
+ * the functional and timing halves of the simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "emu/emulator.hh"
+#include "workloads/workload.hh"
+
+namespace carf
+{
+
+namespace
+{
+
+class ArchEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+};
+
+} // namespace
+
+TEST_P(ArchEquivalence, PipelineMatchesEmulator)
+{
+    auto [workload_name, config] = GetParam();
+    const u64 insts = 20000;
+    const auto &workload = workloads::findWorkload(workload_name);
+
+    // Reference: pure functional execution.
+    emu::Emulator reference(workload.build(), "ref", insts);
+    emu::DynOp op;
+    while (reference.next(op)) {
+    }
+
+    // Timed execution over the same stream.
+    core::CoreParams params;
+    switch (config) {
+      case 0: params = core::CoreParams::unlimited(); break;
+      case 1: params = core::CoreParams::baseline(); break;
+      default: params = core::CoreParams::contentAware(); break;
+    }
+    auto trace = workloads::makeTrace(workload, insts);
+    core::Pipeline pipeline(params);
+    auto result = pipeline.run(*trace);
+    ASSERT_EQ(result.committedInsts, insts);
+
+    for (unsigned r = 0; r < isa::numArchRegs; ++r) {
+        EXPECT_EQ(pipeline.archIntReg(r), reference.intReg(r))
+            << "int r" << r;
+        EXPECT_EQ(pipeline.archFpReg(r), reference.fpRegBits(r))
+            << "fp f" << r;
+    }
+}
+
+namespace
+{
+
+std::string
+archEquivalenceName(
+    const ::testing::TestParamInfo<std::tuple<std::string, int>> &info)
+{
+    const char *config = std::get<1>(info.param) == 0 ? "unlimited"
+                         : std::get<1>(info.param) == 1
+                             ? "baseline"
+                             : "content_aware";
+    return std::get<0>(info.param) + "_" + config;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadsTimesConfigs, ArchEquivalence,
+    ::testing::Combine(::testing::Values("counters", "hash_table",
+                                         "crc", "monte_carlo",
+                                         "jacobi"),
+                       ::testing::Values(0, 1, 2)),
+    archEquivalenceName);
+
+TEST(WarmUpEquivalence, FastForwardPreservesArchState)
+{
+    // warmUp(N) followed by run(M) must leave the same architectural
+    // state as functionally executing N+M instructions.
+    const u64 skip = 15000, window = 10000;
+    const auto &workload = workloads::findWorkload("hash_table");
+
+    emu::Emulator reference(workload.build(), "ref", skip + window);
+    emu::DynOp op;
+    while (reference.next(op)) {
+    }
+
+    auto trace = workloads::makeTrace(workload, skip + window);
+    core::Pipeline pipeline(core::CoreParams::contentAware());
+    pipeline.warmUp(*trace, skip);
+    auto result = pipeline.run(*trace);
+    EXPECT_EQ(result.committedInsts, window);
+
+    for (unsigned r = 0; r < isa::numArchRegs; ++r)
+        EXPECT_EQ(pipeline.archIntReg(r), reference.intReg(r))
+            << "int r" << r;
+}
+
+TEST(WarmUpEquivalence, WarmCachesRaiseWindowIpc)
+{
+    // A warmed window should not be slower than a cold one on a
+    // cache-friendly kernel.
+    const auto &workload = workloads::findWorkload("counters");
+
+    auto cold_trace = workloads::makeTrace(workload, 20000);
+    core::Pipeline cold(core::CoreParams::baseline());
+    auto cold_result = cold.run(*cold_trace);
+
+    auto warm_trace = workloads::makeTrace(workload, 40000);
+    core::Pipeline warm(core::CoreParams::baseline());
+    warm.warmUp(*warm_trace, 20000);
+    auto warm_result = warm.run(*warm_trace);
+
+    EXPECT_GE(warm_result.ipc, cold_result.ipc * 0.98);
+}
+
+} // namespace carf

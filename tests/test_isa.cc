@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the ISA metadata, the assembler (labels, fixups,
+ * encoding), and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/disasm.hh"
+
+namespace carf::isa
+{
+
+class OpcodeMetadata : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(OpcodeMetadata, EveryOpcodeIsSelfConsistent)
+{
+    auto op = static_cast<Opcode>(GetParam());
+    const OpInfo &info = opInfo(op);
+    EXPECT_NE(info.mnemonic, nullptr);
+    EXPECT_GE(info.latency, 1);
+
+    if (info.opClass == OpClass::Load || info.opClass == OpClass::Store)
+        EXPECT_GT(info.memBytes, 0) << info.mnemonic;
+    else
+        EXPECT_EQ(info.memBytes, 0) << info.mnemonic;
+
+    if (info.opClass == OpClass::Load)
+        EXPECT_NE(info.rdClass, RegClass::None) << info.mnemonic;
+    if (info.opClass == OpClass::Store) {
+        EXPECT_EQ(info.rdClass, RegClass::None) << info.mnemonic;
+        EXPECT_NE(info.rs2Class, RegClass::None) << info.mnemonic;
+    }
+    if (info.opClass == OpClass::Branch) {
+        EXPECT_EQ(info.rdClass, RegClass::None) << info.mnemonic;
+        EXPECT_TRUE(info.usesImm) << info.mnemonic;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, OpcodeMetadata,
+    ::testing::Range(0u, static_cast<unsigned>(Opcode::NumOpcodes)));
+
+TEST(Opcode, ClassPredicates)
+{
+    EXPECT_TRUE(isLoad(Opcode::LD));
+    EXPECT_TRUE(isLoad(Opcode::FLD));
+    EXPECT_FALSE(isLoad(Opcode::ST));
+    EXPECT_TRUE(isStore(Opcode::SB));
+    EXPECT_TRUE(isMem(Opcode::FST));
+    EXPECT_TRUE(isBranch(Opcode::BEQ));
+    EXPECT_TRUE(isBranch(Opcode::JAL));
+    EXPECT_TRUE(isConditionalBranch(Opcode::BLTU));
+    EXPECT_FALSE(isConditionalBranch(Opcode::JALR));
+    EXPECT_TRUE(writesIntReg(Opcode::ADD));
+    EXPECT_FALSE(writesIntReg(Opcode::FADD));
+    EXPECT_TRUE(writesFpReg(Opcode::FCVTIF));
+    EXPECT_TRUE(writesIntReg(Opcode::FCVTFI));
+}
+
+TEST(Assembler, BackwardLabelResolves)
+{
+    Assembler a;
+    a.label("top");
+    a.addi(R1, R1, 1);
+    a.jmp("top");
+    Program p = a.finish();
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p.at(1).imm, 0);
+}
+
+TEST(Assembler, ForwardLabelResolves)
+{
+    Assembler a;
+    a.beq(R1, R2, "done");
+    a.addi(R1, R1, 1);
+    a.label("done");
+    a.halt();
+    Program p = a.finish();
+    EXPECT_EQ(p.at(0).imm, 2);
+}
+
+TEST(Assembler, StoreOperandPlacement)
+{
+    Assembler a;
+    a.st(R5, R7, 24); // mem[r7+24] := r5
+    a.halt();
+    Program p = a.finish();
+    const Instruction &st = p.at(0);
+    EXPECT_EQ(st.op, Opcode::ST);
+    EXPECT_EQ(st.rs1, R7); // base
+    EXPECT_EQ(st.rs2, R5); // source
+    EXPECT_EQ(st.imm, 24);
+}
+
+TEST(Assembler, MovIsAddiZero)
+{
+    Assembler a;
+    a.mov(R3, R4);
+    a.halt();
+    Program p = a.finish();
+    EXPECT_EQ(p.at(0).op, Opcode::ADDI);
+    EXPECT_EQ(p.at(0).rs1, R4);
+    EXPECT_EQ(p.at(0).imm, 0);
+}
+
+TEST(Assembler, DataSegmentsCarriedThrough)
+{
+    Assembler a;
+    a.dataU64(0x1000, {1, 2, 3});
+    a.halt();
+    Program p = a.finish();
+    ASSERT_EQ(p.dataSegments().size(), 1u);
+    EXPECT_EQ(p.dataSegments()[0].base, 0x1000u);
+    EXPECT_EQ(p.dataSegments()[0].bytes.size(), 24u);
+    EXPECT_EQ(p.dataSegments()[0].bytes[8], 2);
+}
+
+TEST(Assembler, LabelLookupOnProgram)
+{
+    Assembler a;
+    a.nop();
+    a.label("mid");
+    a.halt();
+    Program p = a.finish();
+    EXPECT_TRUE(p.hasLabel("mid"));
+    EXPECT_EQ(p.labelPc("mid"), 1u);
+    EXPECT_FALSE(p.hasLabel("nope"));
+}
+
+TEST(AssemblerDeathTest, UnresolvedLabelIsFatal)
+{
+    Assembler a;
+    a.jmp("nowhere");
+    EXPECT_DEATH((void)a.finish(), "unresolved label");
+}
+
+TEST(AssemblerDeathTest, DuplicateLabelIsFatal)
+{
+    Assembler a;
+    a.label("x");
+    a.nop();
+    a.label("x");
+    a.halt();
+    EXPECT_DEATH((void)a.finish(), "duplicate label");
+}
+
+TEST(AssemblerDeathTest, FinishTwicePanics)
+{
+    Assembler a;
+    a.halt();
+    (void)a.finish();
+    EXPECT_DEATH((void)a.finish(), "finish called twice");
+}
+
+TEST(Disasm, AluFormats)
+{
+    Instruction add;
+    add.op = Opcode::ADD;
+    add.rd = 3;
+    add.rs1 = 1;
+    add.rs2 = 2;
+    EXPECT_EQ(disassemble(add), "add r3, r1, r2");
+
+    Instruction addi;
+    addi.op = Opcode::ADDI;
+    addi.rd = 4;
+    addi.rs1 = 5;
+    addi.imm = -8;
+    EXPECT_EQ(disassemble(addi), "addi r4, r5, -8");
+}
+
+TEST(Disasm, MemoryFormats)
+{
+    Instruction ld;
+    ld.op = Opcode::LD;
+    ld.rd = 2;
+    ld.rs1 = 9;
+    ld.imm = 16;
+    EXPECT_EQ(disassemble(ld), "ld r2, 16(r9)");
+
+    Instruction st;
+    st.op = Opcode::ST;
+    st.rs1 = 9;
+    st.rs2 = 2;
+    st.imm = 0;
+    EXPECT_EQ(disassemble(st), "st r2, 0(r9)");
+
+    Instruction fld;
+    fld.op = Opcode::FLD;
+    fld.rd = 1;
+    fld.rs1 = 3;
+    fld.imm = 8;
+    EXPECT_EQ(disassemble(fld), "fld f1, 8(r3)");
+}
+
+TEST(Disasm, BranchAndJumpFormats)
+{
+    Instruction beq;
+    beq.op = Opcode::BEQ;
+    beq.rs1 = 1;
+    beq.rs2 = 2;
+    beq.imm = 12;
+    EXPECT_EQ(disassemble(beq), "beq r1, r2, @12");
+
+    Instruction jal;
+    jal.op = Opcode::JAL;
+    jal.rd = 31;
+    jal.imm = 4;
+    EXPECT_EQ(disassemble(jal), "jal r31, @4");
+}
+
+TEST(Disasm, WholeProgramHasLineNumbers)
+{
+    Assembler a;
+    a.nop();
+    a.halt();
+    std::string text = disassemble(a.finish());
+    EXPECT_NE(text.find("0: nop"), std::string::npos);
+    EXPECT_NE(text.find("1: halt"), std::string::npos);
+}
+
+TEST(ProgramDeathTest, ValidateCatchesBadBranchTarget)
+{
+    Program p;
+    Instruction b;
+    b.op = Opcode::BEQ;
+    b.imm = 99; // out of range
+    p.append(b);
+    EXPECT_DEATH(p.validate(), "branch target");
+}
+
+} // namespace carf::isa

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the sparse functional memory image.
+ */
+
+#include <gtest/gtest.h>
+
+#include "emu/memory_image.hh"
+
+namespace carf::emu
+{
+
+TEST(MemoryImage, ZeroFilledByDefault)
+{
+    MemoryImage mem;
+    EXPECT_EQ(mem.readU64(0), 0u);
+    EXPECT_EQ(mem.readU8(0xdead'beef), 0u);
+    EXPECT_EQ(mem.pageCount(), 0u);
+}
+
+TEST(MemoryImage, ByteRoundTrip)
+{
+    MemoryImage mem;
+    mem.writeU8(100, 0xab);
+    EXPECT_EQ(mem.readU8(100), 0xab);
+    EXPECT_EQ(mem.readU8(101), 0u);
+}
+
+TEST(MemoryImage, LittleEndianLayout)
+{
+    MemoryImage mem;
+    mem.writeU64(0x1000, 0x0807060504030201ull);
+    EXPECT_EQ(mem.readU8(0x1000), 0x01);
+    EXPECT_EQ(mem.readU8(0x1007), 0x08);
+    EXPECT_EQ(mem.read(0x1002, 2), 0x0403u);
+}
+
+TEST(MemoryImage, StraddlesPageBoundary)
+{
+    MemoryImage mem;
+    Addr addr = MemoryImage::pageSize - 4;
+    mem.writeU64(addr, 0x1122334455667788ull);
+    EXPECT_EQ(mem.readU64(addr), 0x1122334455667788ull);
+    EXPECT_EQ(mem.pageCount(), 2u);
+}
+
+TEST(MemoryImage, PartialWidthWrites)
+{
+    MemoryImage mem;
+    mem.writeU64(0x2000, ~0ull);
+    mem.write(0x2000, 0, 4);
+    EXPECT_EQ(mem.readU64(0x2000), 0xffffffff00000000ull);
+}
+
+TEST(MemoryImage, DoubleRoundTrip)
+{
+    MemoryImage mem;
+    mem.writeF64(0x3000, -2.75);
+    EXPECT_DOUBLE_EQ(mem.readF64(0x3000), -2.75);
+}
+
+TEST(MemoryImage, BulkLoad)
+{
+    MemoryImage mem;
+    mem.load(0x4000, {1, 2, 3, 4});
+    EXPECT_EQ(mem.readU8(0x4000), 1u);
+    EXPECT_EQ(mem.readU8(0x4003), 4u);
+    EXPECT_EQ(mem.read(0x4000, 4), 0x04030201u);
+}
+
+TEST(MemoryImage, SparseDistantRegions)
+{
+    MemoryImage mem;
+    mem.writeU64(0x0000'1000, 1);
+    mem.writeU64(0x7fff'ffff'0000ull, 2);
+    EXPECT_EQ(mem.pageCount(), 2u);
+    EXPECT_EQ(mem.readU64(0x0000'1000), 1u);
+    EXPECT_EQ(mem.readU64(0x7fff'ffff'0000ull), 2u);
+}
+
+} // namespace carf::emu

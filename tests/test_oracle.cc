@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the live-value oracle with hand-crafted register file
+ * contents where the expected group shares are exact.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "regfile/baseline.hh"
+#include "sim/oracle.hh"
+
+namespace carf::sim
+{
+
+namespace
+{
+
+/** Fill a baseline file with the given live values (tags 0..n). */
+std::unique_ptr<regfile::BaselineRegFile>
+fileWith(const std::vector<u64> &values)
+{
+    auto rf = std::make_unique<regfile::BaselineRegFile>("oracle-test",
+                                                         64);
+    for (size_t i = 0; i < values.size(); ++i)
+        rf->write(static_cast<u32>(i), values[i]);
+    return rf;
+}
+
+} // namespace
+
+TEST(GroupAccumulator, SingleGroupAllInBucketOne)
+{
+    GroupAccumulator acc;
+    std::vector<u32> sizes = {10};
+    acc.addSample(sizes);
+    EXPECT_DOUBLE_EQ(acc.fraction(0), 1.0);
+    EXPECT_EQ(acc.total(), 10u);
+}
+
+TEST(GroupAccumulator, RankBucketsByDescendingSize)
+{
+    GroupAccumulator acc;
+    // Groups of sizes 5,4,3,2 -> rank 1 (5), rank 2 (4), ranks 3-4
+    // (3+2). Input deliberately unsorted.
+    std::vector<u32> sizes = {3, 5, 2, 4};
+    acc.addSample(sizes);
+    EXPECT_DOUBLE_EQ(acc.fraction(0), 5.0 / 14.0);
+    EXPECT_DOUBLE_EQ(acc.fraction(1), 4.0 / 14.0);
+    EXPECT_DOUBLE_EQ(acc.fraction(2), 5.0 / 14.0);
+    EXPECT_DOUBLE_EQ(acc.fraction(5), 0.0);
+}
+
+TEST(GroupAccumulator, SeventeenGroupsSpillToRest)
+{
+    GroupAccumulator acc;
+    std::vector<u32> sizes(17, 1);
+    acc.addSample(sizes);
+    EXPECT_DOUBLE_EQ(acc.fraction(5), 1.0 / 17.0);
+}
+
+TEST(LiveValueOracle, ExactGroupingCountsDuplicates)
+{
+    // 4 registers with value 7, 2 with value 9, 1 with value 1.
+    auto rf = fileWith({7, 7, 7, 7, 9, 9, 1});
+    LiveValueOracle oracle(std::vector<unsigned>{});
+    oracle.sampleCycle(0, *rf);
+    EXPECT_DOUBLE_EQ(oracle.exactGroups().fraction(0), 4.0 / 7.0);
+    EXPECT_DOUBLE_EQ(oracle.exactGroups().fraction(1), 2.0 / 7.0);
+    EXPECT_DOUBLE_EQ(oracle.exactGroups().fraction(2), 1.0 / 7.0);
+    EXPECT_DOUBLE_EQ(oracle.avgLiveRegs(), 7.0);
+}
+
+TEST(LiveValueOracle, SimilarityGroupsMergeNearbyValues)
+{
+    // Values sharing the top 64-8 bits: base+0..3 form one d=8 group
+    // of 4; two distant values form their own groups.
+    u64 base = 0x123456789a00ull;
+    auto rf = fileWith({base, base + 1, base + 2, base + 3,
+                        0x9999999999999999ull, 0x1111111111111111ull});
+    LiveValueOracle oracle({8});
+    oracle.sampleCycle(0, *rf);
+    const auto &groups = oracle.similarityGroups(0);
+    EXPECT_DOUBLE_EQ(groups.fraction(0), 4.0 / 6.0);
+    EXPECT_DOUBLE_EQ(groups.fraction(1), 1.0 / 6.0);
+    EXPECT_DOUBLE_EQ(groups.fraction(2), 1.0 / 6.0);
+    // Exact grouping sees six singleton groups.
+    EXPECT_DOUBLE_EQ(oracle.exactGroups().fraction(0), 1.0 / 6.0);
+}
+
+TEST(LiveValueOracle, LargerDMergesMore)
+{
+    // Two values differing in bit 10: distinct at d=8, merged at d=12.
+    u64 base = 0xabc000ull << 24;
+    auto rf = fileWith({base, base + (1 << 10)});
+    LiveValueOracle oracle({8, 12});
+    oracle.sampleCycle(0, *rf);
+    EXPECT_DOUBLE_EQ(oracle.similarityGroups(0).fraction(0), 0.5);
+    EXPECT_DOUBLE_EQ(oracle.similarityGroups(1).fraction(0), 1.0);
+}
+
+TEST(LiveValueOracle, DeadTagsExcluded)
+{
+    regfile::BaselineRegFile rf("t", 8);
+    rf.write(0, 5);
+    rf.write(1, 5);
+    rf.write(2, 5);
+    rf.release(1);
+    LiveValueOracle oracle(std::vector<unsigned>{});
+    oracle.sampleCycle(0, rf);
+    EXPECT_DOUBLE_EQ(oracle.avgLiveRegs(), 2.0);
+}
+
+TEST(LiveValueOracle, AccumulatesAcrossSamples)
+{
+    auto rf1 = fileWith({1, 1});
+    auto rf2 = fileWith({2, 3});
+    LiveValueOracle oracle(std::vector<unsigned>{});
+    oracle.sampleCycle(0, *rf1);
+    oracle.sampleCycle(1, *rf2);
+    EXPECT_EQ(oracle.samples(), 2u);
+    // Sample 1: both in group-1. Sample 2: one in group-1, one in
+    // group-2. Totals: bucket0 = 3, bucket1 = 1 over 4.
+    EXPECT_DOUBLE_EQ(oracle.exactGroups().fraction(0), 0.75);
+    EXPECT_DOUBLE_EQ(oracle.exactGroups().fraction(1), 0.25);
+}
+
+TEST(LiveValueOracle, EmptyFileSampleIsHarmless)
+{
+    regfile::BaselineRegFile rf("t", 8);
+    LiveValueOracle oracle;
+    oracle.sampleCycle(0, rf);
+    EXPECT_EQ(oracle.samples(), 1u);
+    EXPECT_DOUBLE_EQ(oracle.avgLiveRegs(), 0.0);
+    EXPECT_DOUBLE_EQ(oracle.exactGroups().fraction(0), 0.0);
+}
+
+} // namespace carf::sim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the deterministic PRNG used by workload generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+
+namespace carf
+{
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (u64 bound : {u64{1}, u64{2}, u64{10}, u64{1000}, u64{1} << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedOneAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        i64 v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, DoubleMeanIsCentered)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng rng(19);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, PickWeightedHonorsWeights)
+{
+    Rng rng(23);
+    std::vector<double> weights = {1.0, 3.0, 0.0};
+    int counts[3] = {};
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.pickWeighted(weights)];
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.75, 0.03);
+}
+
+TEST(Rng, GeometricCapped)
+{
+    Rng rng(29);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_LE(rng.geometric(0.9, 5), 5u);
+}
+
+TEST(Rng, GeometricZeroProbabilityIsZero)
+{
+    Rng rng(31);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.geometric(0.0, 10), 0u);
+}
+
+} // namespace carf

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the sim layer: the facade, suite aggregation, relative
+ * IPC, and frequency scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiments.hh"
+#include "sim/frequency.hh"
+#include "sim/reporting.hh"
+
+namespace carf::sim
+{
+
+namespace
+{
+
+SimOptions
+quick(u64 insts = 15000)
+{
+    SimOptions options;
+    options.maxInsts = insts;
+    return options;
+}
+
+} // namespace
+
+TEST(Simulator, FacadeRunsAndLabels)
+{
+    auto result = simulate(workloads::findWorkload("counters"),
+                           core::CoreParams::baseline(), quick());
+    EXPECT_EQ(result.workload, "counters");
+    EXPECT_EQ(result.config, "baseline");
+    EXPECT_EQ(result.committedInsts, 15000u);
+}
+
+TEST(Simulator, OracleHookReceivesSamplesThroughFacade)
+{
+    SimOptions options = quick();
+    options.oracleSamplePeriod = 8;
+    LiveValueOracle oracle;
+    simulate(workloads::findWorkload("counters"),
+             core::CoreParams::baseline(), options, &oracle);
+    EXPECT_GT(oracle.samples(), 100u);
+}
+
+TEST(Experiments, SuiteRunAggregates)
+{
+    std::vector<workloads::Workload> mini = {
+        workloads::findWorkload("counters"),
+        workloads::findWorkload("crc"),
+    };
+    auto run = runSuite(mini, core::CoreParams::contentAware(), quick());
+    ASSERT_EQ(run.results.size(), 2u);
+    EXPECT_GT(run.meanIpc(), 0.0);
+    EXPECT_GT(run.totalAccesses().totalWrites(), 0u);
+    EXPECT_GT(run.bypassFraction(), 0.0);
+    EXPECT_LT(run.bypassFraction(), 1.0);
+}
+
+TEST(Experiments, MeanRelativeIpcIdentityIsOne)
+{
+    std::vector<workloads::Workload> mini = {
+        workloads::findWorkload("counters")};
+    auto run = runSuite(mini, core::CoreParams::baseline(), quick());
+    EXPECT_DOUBLE_EQ(meanRelativeIpc(run, run), 1.0);
+}
+
+TEST(ExperimentsDeathTest, MismatchedSuitesAreFatal)
+{
+    std::vector<workloads::Workload> a = {
+        workloads::findWorkload("counters")};
+    std::vector<workloads::Workload> b = {
+        workloads::findWorkload("crc")};
+    auto ra = runSuite(a, core::CoreParams::baseline(), quick(5000));
+    auto rb = runSuite(b, core::CoreParams::baseline(), quick(5000));
+    EXPECT_DEATH((void)meanRelativeIpc(ra, rb), "mismatch");
+}
+
+TEST(Frequency, GainFromAccessTimes)
+{
+    EXPECT_NEAR(potentialFrequencyGain(100.0, 85.0), 0.176, 0.001);
+    EXPECT_DOUBLE_EQ(potentialFrequencyGain(100.0, 120.0), 0.0);
+}
+
+TEST(Frequency, SpeedupComposition)
+{
+    // Paper §5: 1.5% IPC loss + 5% clock -> ~+3%; +15% -> ~+13%.
+    EXPECT_NEAR(frequencyScaledSpeedup(0.985, 0.05), 0.034, 0.002);
+    EXPECT_NEAR(frequencyScaledSpeedup(0.985, 0.15), 0.133, 0.002);
+    EXPECT_NEAR(frequencyScaledSpeedup(0.983, 0.0), -0.017, 0.001);
+}
+
+TEST(Reporting, DescribeConfigMentionsGeometry)
+{
+    auto params = core::CoreParams::contentAware(20);
+    std::string desc = describeConfig(params);
+    EXPECT_NE(desc.find("content-aware"), std::string::npos);
+    EXPECT_NE(desc.find("d+n=20"), std::string::npos);
+    EXPECT_NE(desc.find("K=48"), std::string::npos);
+}
+
+TEST(Reporting, JsonContainsStableFields)
+{
+    auto result = simulate(workloads::findWorkload("crc"),
+                           core::CoreParams::contentAware(),
+                           quick(8000));
+    std::string json = runResultJson(result);
+    for (const char *key :
+         {"\"workload\":\"crc\"", "\"config\":\"content-aware\"",
+          "\"cycles\":", "\"insts\":8000", "\"ipc\":",
+          "\"rf_reads\":[", "\"rf_writes\":[", "\"recoveries\":",
+          "\"avg_live_long\":"}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Reporting, SuiteJsonIsArray)
+{
+    std::vector<workloads::Workload> mini = {
+        workloads::findWorkload("counters"),
+        workloads::findWorkload("crc"),
+    };
+    auto run = runSuite(mini, core::CoreParams::baseline(), quick(5000));
+    std::string json = suiteRunJson(run);
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json.back(), ']');
+    EXPECT_NE(json.find("\"workload\":\"counters\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"workload\":\"crc\""), std::string::npos);
+}
+
+TEST(Reporting, SuiteTableHasRowPerWorkload)
+{
+    std::vector<workloads::Workload> mini = {
+        workloads::findWorkload("counters"),
+        workloads::findWorkload("rle"),
+    };
+    auto run = runSuite(mini, core::CoreParams::baseline(), quick(5000));
+    Table table = suiteIpcTable("t", run);
+    EXPECT_EQ(table.rowCount(), 2u);
+    EXPECT_EQ(table.cell(0, 0), "counters");
+    EXPECT_EQ(table.cell(1, 0), "rle");
+}
+
+} // namespace carf::sim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * End-to-end smoke test: every workload runs on every register file
+ * organization for a short budget without tripping any internal
+ * invariant (the pipeline panics on operand or reconstruction
+ * mismatches, so completing at all is a strong check).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+namespace carf
+{
+
+TEST(Smoke, BaselineRunsQuickstartWorkload)
+{
+    sim::SimOptions options;
+    options.maxInsts = 20000;
+    auto result = sim::simulate(workloads::findWorkload("counters"),
+                                core::CoreParams::baseline(), options);
+    EXPECT_EQ(result.committedInsts, options.maxInsts);
+    EXPECT_GT(result.ipc, 0.5);
+}
+
+TEST(Smoke, ContentAwareRunsQuickstartWorkload)
+{
+    sim::SimOptions options;
+    options.maxInsts = 20000;
+    auto result = sim::simulate(workloads::findWorkload("counters"),
+                                core::CoreParams::contentAware(),
+                                options);
+    EXPECT_EQ(result.committedInsts, options.maxInsts);
+    EXPECT_GT(result.ipc, 0.5);
+}
+
+class SmokeAllWorkloads
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SmokeAllWorkloads, RunsOnAllRegFileKinds)
+{
+    sim::SimOptions options;
+    options.maxInsts = 10000;
+    const auto &workload = workloads::findWorkload(GetParam());
+
+    for (auto params : {core::CoreParams::unlimited(),
+                        core::CoreParams::baseline(),
+                        core::CoreParams::contentAware()}) {
+        auto result = sim::simulate(workload, params, options);
+        EXPECT_EQ(result.committedInsts, options.maxInsts)
+            << workload.name << " on "
+            << core::regFileKindName(params.regFileKind);
+        EXPECT_GT(result.ipc, 0.0);
+    }
+}
+
+namespace
+{
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &w : workloads::allWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, SmokeAllWorkloads,
+                         ::testing::ValuesIn(allWorkloadNames()));
+
+} // namespace carf

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the SMT extension: single-thread equivalence, two-thread
+ * progress and fairness, shared content-aware file behaviour, and
+ * structural validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "core/smt.hh"
+#include "isa/assembler.hh"
+#include "workloads/workload.hh"
+
+namespace carf::core
+{
+
+using namespace carf::isa;
+
+namespace
+{
+
+std::unique_ptr<emu::TraceSource>
+trace(const char *name, u64 insts)
+{
+    return workloads::makeTrace(workloads::findWorkload(name), insts);
+}
+
+} // namespace
+
+TEST(Smt, SingleThreadMatchesPipeline)
+{
+    // With one thread the SMT core must time exactly like Pipeline:
+    // same structures, same policies, no sharing.
+    for (auto params : {CoreParams::baseline(),
+                        CoreParams::contentAware()}) {
+        auto t1 = trace("hash_table", 30000);
+        Pipeline pipeline(params);
+        auto single = pipeline.run(*t1);
+
+        auto t2 = trace("hash_table", 30000);
+        SmtPipeline smt(params, 1);
+        auto multi = smt.run({t2.get()}, false);
+
+        EXPECT_EQ(single.cycles, multi.cycles)
+            << regFileKindName(params.regFileKind);
+        EXPECT_EQ(single.committedInsts,
+                  multi.threads[0].committedInsts);
+    }
+}
+
+TEST(Smt, TwoThreadsBothProgress)
+{
+    auto ta = trace("counters", 40000);
+    auto tb = trace("crc", 40000);
+    SmtPipeline smt(CoreParams::baseline(), 2);
+    auto result = smt.run({ta.get(), tb.get()});
+    EXPECT_EQ(result.threads.size(), 2u);
+    // Measurement stops when the first thread drains; both must have
+    // made substantial progress by then.
+    EXPECT_GT(result.threads[0].committedInsts, 10000u);
+    EXPECT_GT(result.threads[1].committedInsts, 10000u);
+    EXPECT_GT(result.totalIpc(), 1.0);
+}
+
+TEST(Smt, ThroughputExceedsSingleThread)
+{
+    // Two independent high-ILP threads must beat one (the basic SMT
+    // premise).
+    auto single = trace("counters", 40000);
+    Pipeline pipeline(CoreParams::baseline());
+    auto alone = pipeline.run(*single);
+
+    auto ta = trace("counters", 40000);
+    auto tb = trace("counters", 40000);
+    SmtPipeline smt(CoreParams::baseline(), 2);
+    auto both = smt.run({ta.get(), tb.get()});
+    EXPECT_GT(both.totalIpc(), alone.ipc * 1.3);
+}
+
+TEST(Smt, IqClogThreadDoesNotStarvePartner)
+{
+    // A serial dependence-limited thread (crc) must not pin a
+    // high-ILP partner (counters) to its own rate: the ICOUNT policy
+    // and the per-thread IQ share cap keep the partner above 60% of
+    // its solo throughput.
+    auto solo_trace = trace("counters", 60000);
+    Pipeline pipeline(CoreParams::baseline());
+    auto solo = pipeline.run(*solo_trace);
+
+    auto ta = trace("counters", 60000);
+    auto tb = trace("crc", 60000);
+    SmtPipeline smt(CoreParams::baseline(), 2);
+    auto both = smt.run({ta.get(), tb.get()});
+    EXPECT_GT(both.threads[0].ipc, 0.6 * solo.ipc);
+}
+
+TEST(Smt, SharedContentAwareFileKeepsValuesSeparate)
+{
+    // Two threads running the same program produce identical values
+    // through one shared physical file; any cross-thread mixup would
+    // trip the operand-verification panic.
+    auto ta = trace("graph_walk", 30000);
+    auto tb = trace("graph_walk", 30000);
+    SmtPipeline smt(CoreParams::contentAware(), 2);
+    auto result = smt.run({ta.get(), tb.get()}, false);
+    EXPECT_EQ(result.threads[0].committedInsts, 30000u);
+    EXPECT_EQ(result.threads[1].committedInsts, 30000u);
+}
+
+TEST(Smt, TinyLongFileStillCompletesUnderSharing)
+{
+    auto params = CoreParams::contentAware(20, 3, 16);
+    auto ta = trace("crc", 20000);
+    auto tb = trace("hash_table", 20000);
+    SmtPipeline smt(params, 2);
+    auto result = smt.run({ta.get(), tb.get()}, false);
+    EXPECT_EQ(result.threads[0].committedInsts, 20000u);
+    EXPECT_EQ(result.threads[1].committedInsts, 20000u);
+}
+
+TEST(Smt, LongPressureGrowsWithThreadCount)
+{
+    // Two threads demand more Long capacity than one: live-long
+    // pressure (stalls + recoveries at small K) must not decrease.
+    auto params = CoreParams::contentAware(20, 3, 20);
+    params.ca.issueStallThreshold = 0;
+
+    auto t1 = trace("crc", 30000);
+    SmtPipeline one(params, 1);
+    auto r1 = one.run({t1.get()}, false);
+
+    auto ta = trace("crc", 30000);
+    auto tb = trace("monte_carlo", 30000);
+    SmtPipeline two(params, 2);
+    auto r2 = two.run({ta.get(), tb.get()}, false);
+
+    u64 pressure1 = r1.threads[0].longAllocStalls +
+                    r1.threads[0].recoveries;
+    u64 pressure2 = r2.threads[0].longAllocStalls +
+                    r2.threads[0].recoveries;
+    EXPECT_GE(pressure2, pressure1);
+}
+
+TEST(SmtDeathTest, TooManyThreadsForRegistersIsFatal)
+{
+    // 3 threads x 32 arch regs = 96 pre-allocated of 112: legal.
+    // 4 threads = 128 > 112: dies (the shared free list cannot
+    // reserve more architectural tags than exist).
+    EXPECT_DEATH(SmtPipeline smt(CoreParams::baseline(), 4),
+                 "FreeList|physical");
+}
+
+TEST(SmtDeathTest, SourceCountMismatchIsFatal)
+{
+    auto ta = trace("counters", 1000);
+    SmtPipeline smt(CoreParams::baseline(), 2);
+    EXPECT_DEATH(smt.run({ta.get()}), "sources");
+}
+
+} // namespace carf::core

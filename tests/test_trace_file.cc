@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for trace file record/replay: lossless round trips, identical
+ * timing on replay, cap handling, and corrupt-file rejection.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "emu/trace_file.hh"
+#include "workloads/workload.hh"
+
+namespace carf::emu
+{
+
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+} // namespace
+
+TEST(TraceFile, RoundTripIsLossless)
+{
+    std::string path = tempPath("roundtrip.carftrc");
+    auto source = workloads::makeTrace(
+        workloads::findWorkload("graph_walk"), 5000);
+    u64 written = TraceWriter::record(*source, path);
+    EXPECT_EQ(written, 5000u);
+
+    auto reference = workloads::makeTrace(
+        workloads::findWorkload("graph_walk"), 5000);
+    TraceReader reader(path);
+    EXPECT_EQ(reader.recordCount(), 5000u);
+
+    DynOp a, b;
+    u64 count = 0;
+    while (reference->next(a)) {
+        ASSERT_TRUE(reader.next(b)) << count;
+        EXPECT_EQ(a.seq, b.seq);
+        EXPECT_EQ(a.pc, b.pc);
+        EXPECT_EQ(static_cast<int>(a.op), static_cast<int>(b.op));
+        EXPECT_EQ(a.rd, b.rd);
+        EXPECT_EQ(a.rs1, b.rs1);
+        EXPECT_EQ(a.rs2, b.rs2);
+        EXPECT_EQ(a.rs1Value, b.rs1Value);
+        EXPECT_EQ(a.rs2Value, b.rs2Value);
+        EXPECT_EQ(a.rdValue, b.rdValue);
+        EXPECT_EQ(a.effAddr, b.effAddr);
+        EXPECT_EQ(a.taken, b.taken);
+        EXPECT_EQ(a.nextPc, b.nextPc);
+        ++count;
+    }
+    EXPECT_FALSE(reader.next(b));
+    EXPECT_EQ(count, 5000u);
+}
+
+TEST(TraceFile, ReplayTimesIdenticallyToLiveEmulation)
+{
+    std::string path = tempPath("replay.carftrc");
+    {
+        auto source = workloads::makeTrace(
+            workloads::findWorkload("hash_table"), 20000);
+        TraceWriter::record(*source, path);
+    }
+
+    auto live = workloads::makeTrace(
+        workloads::findWorkload("hash_table"), 20000);
+    core::Pipeline p1(core::CoreParams::contentAware());
+    auto live_result = p1.run(*live);
+
+    TraceReader replay(path, "hash_table");
+    core::Pipeline p2(core::CoreParams::contentAware());
+    auto replay_result = p2.run(replay);
+
+    EXPECT_EQ(live_result.cycles, replay_result.cycles);
+    EXPECT_EQ(live_result.committedInsts, replay_result.committedInsts);
+    EXPECT_EQ(live_result.intRfAccesses.totalReads(),
+              replay_result.intRfAccesses.totalReads());
+}
+
+TEST(TraceFile, ReaderHonoursCap)
+{
+    std::string path = tempPath("cap.carftrc");
+    auto source = workloads::makeTrace(
+        workloads::findWorkload("counters"), 1000);
+    TraceWriter::record(*source, path);
+
+    TraceReader reader(path, "counters", 100);
+    DynOp op;
+    u64 count = 0;
+    while (reader.next(op))
+        ++count;
+    EXPECT_EQ(count, 100u);
+}
+
+TEST(TraceFile, ReaderNamesDefaultToPath)
+{
+    std::string path = tempPath("named.carftrc");
+    auto source = workloads::makeTrace(
+        workloads::findWorkload("counters"), 10);
+    TraceWriter::record(*source, path);
+    TraceReader by_path(path);
+    EXPECT_EQ(by_path.name(), path);
+    TraceReader by_name(path, "custom");
+    EXPECT_EQ(by_name.name(), "custom");
+}
+
+TEST(TraceFileDeathTest, MissingFileIsFatal)
+{
+    EXPECT_DEATH(TraceReader reader("/nonexistent/file.carftrc"),
+                 "cannot open");
+}
+
+TEST(TraceFileDeathTest, BadMagicIsFatal)
+{
+    std::string path = tempPath("bad.carftrc");
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTATRACE-------";
+    out.close();
+    EXPECT_DEATH(TraceReader reader(path), "not a CARF trace");
+}
+
+TEST(TraceFileDeathTest, TruncatedRecordIsFatal)
+{
+    std::string path = tempPath("trunc.carftrc");
+    {
+        auto source = workloads::makeTrace(
+            workloads::findWorkload("counters"), 10);
+        TraceWriter::record(*source, path);
+    }
+    // Chop the last record in half.
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size - 32), 0);
+
+    TraceReader reader(path);
+    DynOp op;
+    EXPECT_DEATH({
+        while (reader.next(op)) {
+        }
+    }, "truncated");
+}
+
+} // namespace carf::emu
