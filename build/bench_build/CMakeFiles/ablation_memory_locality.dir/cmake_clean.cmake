@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_memory_locality"
+  "../bench/ablation_memory_locality.pdb"
+  "CMakeFiles/ablation_memory_locality.dir/ablation_memory_locality.cc.o"
+  "CMakeFiles/ablation_memory_locality.dir/ablation_memory_locality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memory_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

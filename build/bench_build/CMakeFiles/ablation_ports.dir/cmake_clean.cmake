@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ports"
+  "../bench/ablation_ports.pdb"
+  "CMakeFiles/ablation_ports.dir/ablation_ports.cc.o"
+  "CMakeFiles/ablation_ports.dir/ablation_ports.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

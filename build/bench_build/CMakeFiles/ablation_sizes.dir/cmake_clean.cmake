@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sizes"
+  "../bench/ablation_sizes.pdb"
+  "CMakeFiles/ablation_sizes.dir/ablation_sizes.cc.o"
+  "CMakeFiles/ablation_sizes.dir/ablation_sizes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_ipc_sweep"
+  "../bench/fig5_ipc_sweep.pdb"
+  "CMakeFiles/fig5_ipc_sweep.dir/fig5_ipc_sweep.cc.o"
+  "CMakeFiles/fig5_ipc_sweep.dir/fig5_ipc_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ipc_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

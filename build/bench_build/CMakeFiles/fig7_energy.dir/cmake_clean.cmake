@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_energy"
+  "../bench/fig7_energy.pdb"
+  "CMakeFiles/fig7_energy.dir/fig7_energy.cc.o"
+  "CMakeFiles/fig7_energy.dir/fig7_energy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

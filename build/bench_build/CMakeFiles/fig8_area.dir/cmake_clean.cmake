@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_area"
+  "../bench/fig8_area.pdb"
+  "CMakeFiles/fig8_area.dir/fig8_area.cc.o"
+  "CMakeFiles/fig8_area.dir/fig8_area.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

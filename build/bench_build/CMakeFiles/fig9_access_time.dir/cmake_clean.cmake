@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_access_time"
+  "../bench/fig9_access_time.pdb"
+  "CMakeFiles/fig9_access_time.dir/fig9_access_time.cc.o"
+  "CMakeFiles/fig9_access_time.dir/fig9_access_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_access_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_regfile"
+  "../bench/micro_regfile.pdb"
+  "CMakeFiles/micro_regfile.dir/micro_regfile.cc.o"
+  "CMakeFiles/micro_regfile.dir/micro_regfile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_regfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

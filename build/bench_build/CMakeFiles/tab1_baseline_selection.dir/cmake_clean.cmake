@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab1_baseline_selection"
+  "../bench/tab1_baseline_selection.pdb"
+  "CMakeFiles/tab1_baseline_selection.dir/tab1_baseline_selection.cc.o"
+  "CMakeFiles/tab1_baseline_selection.dir/tab1_baseline_selection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_baseline_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

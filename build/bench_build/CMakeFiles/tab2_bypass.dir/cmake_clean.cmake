@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab2_bypass"
+  "../bench/tab2_bypass.pdb"
+  "CMakeFiles/tab2_bypass.dir/tab2_bypass.cc.o"
+  "CMakeFiles/tab2_bypass.dir/tab2_bypass.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

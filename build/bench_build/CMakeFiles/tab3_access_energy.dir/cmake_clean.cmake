@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab3_access_energy"
+  "../bench/tab3_access_energy.pdb"
+  "CMakeFiles/tab3_access_energy.dir/tab3_access_energy.cc.o"
+  "CMakeFiles/tab3_access_energy.dir/tab3_access_energy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_access_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

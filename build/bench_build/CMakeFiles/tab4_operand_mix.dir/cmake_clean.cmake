@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab4_operand_mix"
+  "../bench/tab4_operand_mix.pdb"
+  "CMakeFiles/tab4_operand_mix.dir/tab4_operand_mix.cc.o"
+  "CMakeFiles/tab4_operand_mix.dir/tab4_operand_mix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_operand_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/branch/btb.cc" "src/CMakeFiles/carf.dir/branch/btb.cc.o" "gcc" "src/CMakeFiles/carf.dir/branch/btb.cc.o.d"
+  "/root/repo/src/branch/gshare.cc" "src/CMakeFiles/carf.dir/branch/gshare.cc.o" "gcc" "src/CMakeFiles/carf.dir/branch/gshare.cc.o.d"
+  "/root/repo/src/branch/ras.cc" "src/CMakeFiles/carf.dir/branch/ras.cc.o" "gcc" "src/CMakeFiles/carf.dir/branch/ras.cc.o.d"
+  "/root/repo/src/common/bitutil.cc" "src/CMakeFiles/carf.dir/common/bitutil.cc.o" "gcc" "src/CMakeFiles/carf.dir/common/bitutil.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/carf.dir/common/config.cc.o" "gcc" "src/CMakeFiles/carf.dir/common/config.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/carf.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/carf.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/carf.dir/common/random.cc.o" "gcc" "src/CMakeFiles/carf.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/carf.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/carf.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/carf.dir/common/table.cc.o" "gcc" "src/CMakeFiles/carf.dir/common/table.cc.o.d"
+  "/root/repo/src/core/bypass.cc" "src/CMakeFiles/carf.dir/core/bypass.cc.o" "gcc" "src/CMakeFiles/carf.dir/core/bypass.cc.o.d"
+  "/root/repo/src/core/core_stats.cc" "src/CMakeFiles/carf.dir/core/core_stats.cc.o" "gcc" "src/CMakeFiles/carf.dir/core/core_stats.cc.o.d"
+  "/root/repo/src/core/issue_queue.cc" "src/CMakeFiles/carf.dir/core/issue_queue.cc.o" "gcc" "src/CMakeFiles/carf.dir/core/issue_queue.cc.o.d"
+  "/root/repo/src/core/lsq.cc" "src/CMakeFiles/carf.dir/core/lsq.cc.o" "gcc" "src/CMakeFiles/carf.dir/core/lsq.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/CMakeFiles/carf.dir/core/params.cc.o" "gcc" "src/CMakeFiles/carf.dir/core/params.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/carf.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/carf.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/rename.cc" "src/CMakeFiles/carf.dir/core/rename.cc.o" "gcc" "src/CMakeFiles/carf.dir/core/rename.cc.o.d"
+  "/root/repo/src/core/rob.cc" "src/CMakeFiles/carf.dir/core/rob.cc.o" "gcc" "src/CMakeFiles/carf.dir/core/rob.cc.o.d"
+  "/root/repo/src/core/smt.cc" "src/CMakeFiles/carf.dir/core/smt.cc.o" "gcc" "src/CMakeFiles/carf.dir/core/smt.cc.o.d"
+  "/root/repo/src/emu/emulator.cc" "src/CMakeFiles/carf.dir/emu/emulator.cc.o" "gcc" "src/CMakeFiles/carf.dir/emu/emulator.cc.o.d"
+  "/root/repo/src/emu/memory_image.cc" "src/CMakeFiles/carf.dir/emu/memory_image.cc.o" "gcc" "src/CMakeFiles/carf.dir/emu/memory_image.cc.o.d"
+  "/root/repo/src/emu/trace.cc" "src/CMakeFiles/carf.dir/emu/trace.cc.o" "gcc" "src/CMakeFiles/carf.dir/emu/trace.cc.o.d"
+  "/root/repo/src/emu/trace_file.cc" "src/CMakeFiles/carf.dir/emu/trace_file.cc.o" "gcc" "src/CMakeFiles/carf.dir/emu/trace_file.cc.o.d"
+  "/root/repo/src/energy/report.cc" "src/CMakeFiles/carf.dir/energy/report.cc.o" "gcc" "src/CMakeFiles/carf.dir/energy/report.cc.o.d"
+  "/root/repo/src/energy/rixner.cc" "src/CMakeFiles/carf.dir/energy/rixner.cc.o" "gcc" "src/CMakeFiles/carf.dir/energy/rixner.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/carf.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/carf.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/carf.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/carf.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/CMakeFiles/carf.dir/isa/instruction.cc.o" "gcc" "src/CMakeFiles/carf.dir/isa/instruction.cc.o.d"
+  "/root/repo/src/isa/opcode.cc" "src/CMakeFiles/carf.dir/isa/opcode.cc.o" "gcc" "src/CMakeFiles/carf.dir/isa/opcode.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/carf.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/carf.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/carf.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/carf.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/regfile/baseline.cc" "src/CMakeFiles/carf.dir/regfile/baseline.cc.o" "gcc" "src/CMakeFiles/carf.dir/regfile/baseline.cc.o.d"
+  "/root/repo/src/regfile/content_aware.cc" "src/CMakeFiles/carf.dir/regfile/content_aware.cc.o" "gcc" "src/CMakeFiles/carf.dir/regfile/content_aware.cc.o.d"
+  "/root/repo/src/regfile/regfile.cc" "src/CMakeFiles/carf.dir/regfile/regfile.cc.o" "gcc" "src/CMakeFiles/carf.dir/regfile/regfile.cc.o.d"
+  "/root/repo/src/regfile/value_class.cc" "src/CMakeFiles/carf.dir/regfile/value_class.cc.o" "gcc" "src/CMakeFiles/carf.dir/regfile/value_class.cc.o.d"
+  "/root/repo/src/sim/experiments.cc" "src/CMakeFiles/carf.dir/sim/experiments.cc.o" "gcc" "src/CMakeFiles/carf.dir/sim/experiments.cc.o.d"
+  "/root/repo/src/sim/frequency.cc" "src/CMakeFiles/carf.dir/sim/frequency.cc.o" "gcc" "src/CMakeFiles/carf.dir/sim/frequency.cc.o.d"
+  "/root/repo/src/sim/oracle.cc" "src/CMakeFiles/carf.dir/sim/oracle.cc.o" "gcc" "src/CMakeFiles/carf.dir/sim/oracle.cc.o.d"
+  "/root/repo/src/sim/reporting.cc" "src/CMakeFiles/carf.dir/sim/reporting.cc.o" "gcc" "src/CMakeFiles/carf.dir/sim/reporting.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/carf.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/carf.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/workloads/fp_kernels.cc" "src/CMakeFiles/carf.dir/workloads/fp_kernels.cc.o" "gcc" "src/CMakeFiles/carf.dir/workloads/fp_kernels.cc.o.d"
+  "/root/repo/src/workloads/int_kernels.cc" "src/CMakeFiles/carf.dir/workloads/int_kernels.cc.o" "gcc" "src/CMakeFiles/carf.dir/workloads/int_kernels.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/CMakeFiles/carf.dir/workloads/synthetic.cc.o" "gcc" "src/CMakeFiles/carf.dir/workloads/synthetic.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/carf.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/carf.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bitutil.cc" "tests/CMakeFiles/carf_tests.dir/test_bitutil.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_bitutil.cc.o.d"
+  "/root/repo/tests/test_branch.cc" "tests/CMakeFiles/carf_tests.dir/test_branch.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_branch.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/carf_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_config_table.cc" "tests/CMakeFiles/carf_tests.dir/test_config_table.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_config_table.cc.o.d"
+  "/root/repo/tests/test_core_structures.cc" "tests/CMakeFiles/carf_tests.dir/test_core_structures.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_core_structures.cc.o.d"
+  "/root/repo/tests/test_differential.cc" "tests/CMakeFiles/carf_tests.dir/test_differential.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_differential.cc.o.d"
+  "/root/repo/tests/test_emulator.cc" "tests/CMakeFiles/carf_tests.dir/test_emulator.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_emulator.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/carf_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_equivalence.cc" "tests/CMakeFiles/carf_tests.dir/test_equivalence.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_equivalence.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/carf_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_memory_image.cc" "tests/CMakeFiles/carf_tests.dir/test_memory_image.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_memory_image.cc.o.d"
+  "/root/repo/tests/test_new_kernels.cc" "tests/CMakeFiles/carf_tests.dir/test_new_kernels.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_new_kernels.cc.o.d"
+  "/root/repo/tests/test_oracle.cc" "tests/CMakeFiles/carf_tests.dir/test_oracle.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_oracle.cc.o.d"
+  "/root/repo/tests/test_paper_claims.cc" "tests/CMakeFiles/carf_tests.dir/test_paper_claims.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_paper_claims.cc.o.d"
+  "/root/repo/tests/test_pipeline.cc" "tests/CMakeFiles/carf_tests.dir/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_pipeline.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/carf_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_regfile.cc" "tests/CMakeFiles/carf_tests.dir/test_regfile.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_regfile.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/carf_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/carf_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_smt.cc" "tests/CMakeFiles/carf_tests.dir/test_smt.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_smt.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/carf_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_trace_file.cc" "tests/CMakeFiles/carf_tests.dir/test_trace_file.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_trace_file.cc.o.d"
+  "/root/repo/tests/test_value_class.cc" "tests/CMakeFiles/carf_tests.dir/test_value_class.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_value_class.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/carf_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/carf_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/carf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
