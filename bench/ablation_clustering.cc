@@ -18,7 +18,7 @@ using namespace carf;
 int
 main(int argc, char **argv)
 {
-    auto args = bench::BenchArgs::parse(argc, argv);
+    auto args = bench::BenchArgs::parse("ablation_clustering", argc, argv);
     bench::printHeader(
         "Value-type clustering estimate (§6, derived from Table 4)",
         ">86% same-type operands implies little inter-cluster "
@@ -30,10 +30,10 @@ main(int argc, char **argv)
 
     for (unsigned dn : {12u, 16u, 20u, 24u}) {
         auto params = core::CoreParams::contentAware(dn);
-        auto run_int =
-            sim::runSuite(workloads::intSuite(), params, args.options);
-        auto run_fp =
-            sim::runSuite(workloads::fpSuite(), params, args.options);
+        auto run_int = args.runSuite(workloads::intSuite(), params,
+                                     strprintf("CA INT d+n=%u", dn));
+        auto run_fp = args.runSuite(workloads::fpSuite(), params,
+                                    strprintf("CA FP d+n=%u", dn));
         table.addRow({strprintf("d+n=%u", dn),
                       Table::pct(run_int.totalClusterStats()
                                      .crossFraction()),
@@ -46,5 +46,6 @@ main(int argc, char **argv)
                 "transfer; low fractions support\nthe paper's claim "
                 "that value-type clusters need little "
                 "communication.\n");
+    args.writeReport();
     return 0;
 }

@@ -77,7 +77,8 @@ class WindowLocality
 int
 main(int argc, char **argv)
 {
-    auto args = bench::BenchArgs::parse(argc, argv);
+    auto args =
+        bench::BenchArgs::parse("ablation_memory_locality", argc, argv);
     bench::printHeader(
         "Memory-stream partial value locality (§6 future direction)",
         "addresses and data both exhibit considerable partial value "
@@ -126,5 +127,6 @@ main(int argc, char **argv)
         table.addRow(row);
     }
     bench::printTable(table, args);
+    args.writeReport();
     return 0;
 }

@@ -17,16 +17,16 @@ using namespace carf;
 int
 main(int argc, char **argv)
 {
-    auto args = bench::BenchArgs::parse(argc, argv);
+    auto args = bench::BenchArgs::parse("ablation_ports", argc, argv);
     bench::printHeader(
         "Port reduction x organization (INT suite)",
         "port reduction is orthogonal; extra savings on the CA file "
         "are relatively low");
 
     energy::RixnerModel model;
-    auto unlimited_run = sim::runSuite(workloads::intSuite(),
+    auto unlimited_run = args.runSuite(workloads::intSuite(),
                                        core::CoreParams::unlimited(),
-                                       args.options);
+                                       "unlimited INT");
     double unlimited_energy = energy::conventionalEnergy(
         model, energy::unlimitedGeometry(),
         unlimited_run.totalAccesses());
@@ -48,7 +48,8 @@ main(int argc, char **argv)
         base.intRfReadPorts = p.rd;
         base.intRfWritePorts = p.wr;
         auto base_run =
-            sim::runSuite(workloads::intSuite(), base, args.options);
+            args.runSuite(workloads::intSuite(), base,
+                          strprintf("baseline %uR/%uW", p.rd, p.wr));
         energy::RegFileGeometry geom{base.physIntRegs, 64, p.rd, p.wr};
         double base_energy = energy::conventionalEnergy(
             model, geom, base_run.totalAccesses());
@@ -63,7 +64,8 @@ main(int argc, char **argv)
         ca.intRfReadPorts = p.rd;
         ca.intRfWritePorts = p.wr;
         auto ca_run =
-            sim::runSuite(workloads::intSuite(), ca, args.options);
+            args.runSuite(workloads::intSuite(), ca,
+                          strprintf("CA %uR/%uW", p.rd, p.wr));
         auto ca_geom = energy::caGeometry(ca.physIntRegs, ca.ca, p.rd,
                                           p.wr);
         double ca_energy = energy::contentAwareEnergy(
@@ -83,5 +85,6 @@ main(int argc, char **argv)
                 "reduction are small next to the organization's own "
                 "savings,\nmatching the paper's 'relatively low' "
                 "assessment.\n");
+    args.writeReport();
     return 0;
 }

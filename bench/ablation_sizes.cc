@@ -24,9 +24,9 @@ reportRow(Table &table, const std::string &label,
           const sim::SuiteRun &base_fp, const bench::BenchArgs &args)
 {
     auto run_int =
-        sim::runSuite(workloads::intSuite(), params, args.options);
+        args.runSuite(workloads::intSuite(), params, label + " INT");
     auto run_fp =
-        sim::runSuite(workloads::fpSuite(), params, args.options);
+        args.runSuite(workloads::fpSuite(), params, label + " FP");
     table.addRow({label,
                   Table::pct(sim::meanRelativeIpc(run_int, base_int), 2),
                   Table::pct(sim::meanRelativeIpc(run_fp, base_fp), 2),
@@ -44,18 +44,18 @@ reportRow(Table &table, const std::string &label,
 int
 main(int argc, char **argv)
 {
-    auto args = bench::BenchArgs::parse(argc, argv);
+    auto args = bench::BenchArgs::parse("ablation_sizes", argc, argv);
     bench::printHeader(
         "Ablations: sub-file sizing and design choices (d+n=20)",
         "paper picks M=8, K=48; address-only Short allocation; "
         "direct-mapped Short; threshold = issue width");
 
-    auto base_int = sim::runSuite(workloads::intSuite(),
+    auto base_int = args.runSuite(workloads::intSuite(),
                                   core::CoreParams::baseline(),
-                                  args.options);
-    auto base_fp = sim::runSuite(workloads::fpSuite(),
+                                  "baseline INT");
+    auto base_fp = args.runSuite(workloads::fpSuite(),
                                  core::CoreParams::baseline(),
-                                 args.options);
+                                 "baseline FP");
 
     Table table("relative IPC vs baseline, long-file pressure");
     table.setColumns({"variant", "INT", "FP", "long stalls",
@@ -109,5 +109,6 @@ main(int argc, char **argv)
     }
 
     bench::printTable(table, args);
+    args.writeReport();
     return 0;
 }

@@ -11,6 +11,8 @@
  * baseline and content-aware organizations.
  */
 
+#include <map>
+
 #include "bench_util.hh"
 #include "core/smt.hh"
 
@@ -39,21 +41,62 @@ smtThroughput(const core::CoreParams &params, const Mix &mix,
     return result.totalIpc();
 }
 
-double
-singleIpc(const core::CoreParams &params, const char *name, u64 insts)
+/**
+ * Every (organization, workload) single-thread run the mix table
+ * needs, executed once as one parallel batch and looked up by
+ * (organization label, workload name).
+ */
+class SingleRuns
 {
-    sim::SimOptions options;
-    options.maxInsts = insts;
-    return sim::simulate(workloads::findWorkload(name), params, options)
-        .ipc;
-}
+  public:
+    void
+    request(const std::string &org, const core::CoreParams &params,
+            const char *workload)
+    {
+        if (ipc_.count({org, workload}))
+            return;
+        ipc_[{org, workload}] = 0.0;
+        params_.push_back({org, params, workload});
+    }
+
+    void
+    run(const bench::BenchArgs &args)
+    {
+        std::vector<sim::ExperimentJob> jobs;
+        for (const auto &r : params_)
+            jobs.push_back({workloads::findWorkload(r.workload),
+                            r.params, args.options, r.org, nullptr});
+        sim::SuiteRun suite;
+        suite.results = args.runner.run(jobs);
+        args.report.addSuite("single-thread runs", suite);
+        for (size_t i = 0; i < params_.size(); ++i)
+            ipc_[{params_[i].org, params_[i].workload}] =
+                suite.results[i].ipc;
+    }
+
+    double
+    ipc(const std::string &org, const char *workload) const
+    {
+        return ipc_.at({org, workload});
+    }
+
+  private:
+    struct Request
+    {
+        std::string org;
+        core::CoreParams params;
+        const char *workload;
+    };
+    std::vector<Request> params_;
+    std::map<std::pair<std::string, std::string>, double> ipc_;
+};
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    auto args = bench::BenchArgs::parse(argc, argv);
+    auto args = bench::BenchArgs::parse("ablation_smt", argc, argv);
     u64 insts = args.options.maxInsts;
     bench::printHeader(
         "SMT sharing of the content-aware register file (§6)",
@@ -75,20 +118,37 @@ main(int argc, char **argv)
     table.setColumns({"mix", "baseline", "CA K=32", "CA K=48",
                       "CA K=64"});
 
+    // Gather every single-thread reference run first so the whole
+    // set executes as one parallel batch.
+    SingleRuns singles;
+    for (const Mix &mix : mixes) {
+        singles.request("baseline", core::CoreParams::baseline(),
+                        mix.a);
+        singles.request("baseline", core::CoreParams::baseline(),
+                        mix.b);
+        for (unsigned k : {32u, 48u, 64u}) {
+            auto ca = core::CoreParams::contentAware(20, 3, k);
+            singles.request(strprintf("CA K=%u", k), ca, mix.a);
+            singles.request(strprintf("CA K=%u", k), ca, mix.b);
+        }
+    }
+    singles.run(args);
+
     for (const Mix &mix : mixes) {
         std::vector<std::string> row = {mix.name};
 
         auto baseline = core::CoreParams::baseline();
-        double base_sum = singleIpc(baseline, mix.a, insts) +
-                          singleIpc(baseline, mix.b, insts);
+        double base_sum = singles.ipc("baseline", mix.a) +
+                          singles.ipc("baseline", mix.b);
         double base_smt = smtThroughput(baseline, mix, insts);
         row.push_back(Table::num(base_smt, 2) + " (" +
                       Table::pct(base_smt / base_sum) + ")");
 
         for (unsigned k : {32u, 48u, 64u}) {
             auto ca = core::CoreParams::contentAware(20, 3, k);
-            double ca_sum = singleIpc(ca, mix.a, insts) +
-                            singleIpc(ca, mix.b, insts);
+            std::string org = strprintf("CA K=%u", k);
+            double ca_sum = singles.ipc(org, mix.a) +
+                            singles.ipc(org, mix.b);
             double ca_smt = smtThroughput(ca, mix, insts);
             row.push_back(Table::num(ca_smt, 2) + " (" +
                           Table::pct(ca_smt / ca_sum) + ")");
@@ -101,5 +161,6 @@ main(int argc, char **argv)
                 "single-thread IPC reflects\nsharing losses; the CA "
                 "columns show how much Long capacity two threads "
                 "need.\n");
+    args.writeReport();
     return 0;
 }

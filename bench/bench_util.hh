@@ -3,20 +3,33 @@
  * Shared helpers for the experiment harnesses in bench/.
  *
  * Every harness accepts "key=value" overrides; the universal keys are
- *   insts=N   dynamic instruction budget per workload (default 500k)
- *   csv=1     additionally print tables as CSV
+ *   insts=N    dynamic instruction budget per workload (default 500k)
+ *   csv=1      additionally print tables as CSV
+ *   jobs=N     simulation worker threads (default: hardware threads;
+ *              jobs=1 forces the serial path — output is identical)
+ *   progress=1 log per-job completion lines to stderr
+ *   out=PATH   where to write the JSON report
+ *              (default BENCH_<name>.json in the working directory)
+ *
+ * Tables printed through printTable() and suite runs executed through
+ * BenchArgs::runSuite() are also captured into a machine-readable
+ * per-harness JSON report; call args.writeReport() at the end of
+ * main. See README "Experiment engine" for the schema.
  */
 
 #ifndef CARF_BENCH_BENCH_UTIL_HH
 #define CARF_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "sim/experiment_runner.hh"
 #include "sim/experiments.hh"
 #include "sim/reporting.hh"
 
@@ -26,20 +39,138 @@ namespace carf::bench
 /** The paper's d+n sweep (Figures 5-7, Table 3). */
 inline const std::vector<unsigned> kDnSweep = {8, 12, 16, 20, 24, 28, 32};
 
+/** Accumulates one harness's results for the BENCH_<name>.json file. */
+class BenchReport
+{
+  public:
+    void
+    begin(std::string name, unsigned jobs, u64 max_insts)
+    {
+        name_ = std::move(name);
+        jobs_ = jobs;
+        maxInsts_ = max_insts;
+    }
+
+    const std::string &name() const { return name_; }
+
+    /** Record one labelled suite run (full per-workload results). */
+    void
+    addSuite(const std::string &label, const sim::SuiteRun &run)
+    {
+        suites_.push_back("{\"label\":" + sim::jsonString(label) +
+                          ",\"results\":" + sim::suiteRunJson(run) + "}");
+    }
+
+    /** Record one rendered table (what the harness printed). */
+    void
+    addTable(const Table &table)
+    {
+        tables_.push_back(sim::tableJson(table));
+    }
+
+    std::string
+    json() const
+    {
+        std::string out = "{\"bench\":" + sim::jsonString(name_);
+        out += strprintf(",\"jobs\":%u", jobs_);
+        out += strprintf(",\"max_insts\":%llu",
+                         (unsigned long long)maxInsts_);
+        out += ",\"suites\":[";
+        for (size_t i = 0; i < suites_.size(); ++i)
+            out += (i ? "," : "") + suites_[i];
+        out += "],\"tables\":[";
+        for (size_t i = 0; i < tables_.size(); ++i)
+            out += (i ? "," : "") + tables_[i];
+        out += "]}";
+        return out;
+    }
+
+    /** Write the report to @p path; fatal() when the write fails. */
+    void
+    write(const std::string &path) const
+    {
+        std::ofstream file(path, std::ios::trunc);
+        if (!file)
+            fatal("BenchReport: cannot open '%s' for writing",
+                  path.c_str());
+        file << json() << "\n";
+        if (!file.flush())
+            fatal("BenchReport: short write to '%s'", path.c_str());
+    }
+
+  private:
+    std::string name_;
+    unsigned jobs_ = 1;
+    u64 maxInsts_ = 0;
+    std::vector<std::string> suites_;
+    std::vector<std::string> tables_;
+};
+
 struct BenchArgs
 {
     Config config;
     sim::SimOptions options;
     bool csv = false;
+    bool progress = false;
+    unsigned jobs = 1;
+    sim::ExperimentRunner runner;
+    mutable BenchReport report;
 
     static BenchArgs
-    parse(int argc, char **argv)
+    parse(const char *bench_name, int argc, char **argv)
     {
         BenchArgs args;
         args.config.parseArgs(argc, argv);
         args.options.maxInsts = args.config.getU64("insts", 500000);
         args.csv = args.config.getBool("csv", false);
+        args.progress = args.config.getBool("progress", false);
+        args.jobs = static_cast<unsigned>(args.config.getU64(
+            "jobs", sim::ExperimentRunner::hardwareJobs()));
+        args.runner = sim::ExperimentRunner(args.jobs ? args.jobs : 1);
+        args.report.begin(bench_name, args.runner.jobs(),
+                          args.options.maxInsts);
         return args;
+    }
+
+    /**
+     * Run @p suite under @p params on the shared worker pool and
+     * record the per-workload results into the JSON report under
+     * @p label. Result order (and every table derived from it) is
+     * independent of the jobs= setting.
+     */
+    sim::SuiteRun
+    runSuite(const std::vector<workloads::Workload> &suite,
+             const core::CoreParams &params,
+             const std::string &label) const
+    {
+        sim::ExperimentRunner::ProgressFn fn;
+        if (progress) {
+            std::string tag = label;
+            fn = [tag](const sim::ExperimentProgress &p) {
+                inform("[%s] %zu/%zu %s (%.2fs)", tag.c_str(),
+                       p.completed, p.total,
+                       p.job.workload.name.c_str(),
+                       p.result.wallSeconds);
+            };
+        }
+        auto run = sim::runSuite(suite, params, options, runner, fn);
+        report.addSuite(label, run);
+        return run;
+    }
+
+    /** Where the JSON report goes (out= override). */
+    std::string
+    reportPath() const
+    {
+        return config.getString("out", "BENCH_" + report.name() +
+                                           ".json");
+    }
+
+    void
+    writeReport() const
+    {
+        report.write(reportPath());
+        std::printf("wrote %s\n", reportPath().c_str());
     }
 };
 
@@ -50,6 +181,7 @@ printTable(const Table &table, const BenchArgs &args)
     if (args.csv)
         std::fputs(table.renderCsv().c_str(), stdout);
     std::fputs("\n", stdout);
+    args.report.addTable(table);
 }
 
 inline void

@@ -8,6 +8,8 @@
  * more concentrated in REST (63%).
  */
 
+#include <memory>
+
 #include "bench_util.hh"
 #include "sim/oracle.hh"
 
@@ -16,17 +18,35 @@ using namespace carf;
 namespace
 {
 
+/**
+ * One job per workload, each sampling into its own oracle; the
+ * per-workload oracles are merged in suite order, which reproduces
+ * the serial shared-oracle accumulation exactly (all accumulators
+ * are integer sums).
+ */
 sim::LiveValueOracle
 runSuiteWithOracle(const std::vector<workloads::Workload> &suite,
-                   const bench::BenchArgs &args)
+                   const bench::BenchArgs &args, const char *label)
 {
-    sim::LiveValueOracle oracle;
     sim::SimOptions options = args.options;
     options.oracleSamplePeriod =
         static_cast<unsigned>(args.config.getU64("sample", 16));
-    for (const auto &w : suite)
-        sim::simulate(w, core::CoreParams::baseline(), options, &oracle);
-    return oracle;
+
+    std::vector<std::unique_ptr<sim::LiveValueOracle>> oracles;
+    std::vector<sim::ExperimentJob> jobs;
+    for (const auto &w : suite) {
+        oracles.push_back(std::make_unique<sim::LiveValueOracle>());
+        jobs.push_back({w, core::CoreParams::baseline(), options,
+                        label, oracles.back().get()});
+    }
+    sim::SuiteRun run;
+    run.results = args.runner.run(jobs);
+    args.report.addSuite(label, run);
+
+    sim::LiveValueOracle merged;
+    for (const auto &oracle : oracles)
+        merged.merge(*oracle);
+    return merged;
 }
 
 void
@@ -49,15 +69,19 @@ report(const char *title, const sim::LiveValueOracle &oracle,
 int
 main(int argc, char **argv)
 {
-    auto args = bench::BenchArgs::parse(argc, argv);
+    auto args =
+        bench::BenchArgs::parse("fig1_value_distribution", argc, argv);
     bench::printHeader(
         "Figure 1: distribution of live integer data values",
         "SPECint: top value 14%, REST 55%; SPECfp: REST 63%");
 
-    auto int_oracle = runSuiteWithOracle(workloads::intSuite(), args);
+    auto int_oracle =
+        runSuiteWithOracle(workloads::intSuite(), args, "baseline INT");
     report("Fig 1a: INT suite (exact-value groups)", int_oracle, args);
 
-    auto fp_oracle = runSuiteWithOracle(workloads::fpSuite(), args);
+    auto fp_oracle =
+        runSuiteWithOracle(workloads::fpSuite(), args, "baseline FP");
     report("Fig 1b: FP suite (exact-value groups)", fp_oracle, args);
+    args.writeReport();
     return 0;
 }

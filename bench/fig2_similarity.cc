@@ -8,6 +8,8 @@
  * locality far exceeds exact value locality, and grows with d.
  */
 
+#include <memory>
+
 #include "bench_util.hh"
 #include "sim/oracle.hh"
 
@@ -16,17 +18,32 @@ using namespace carf;
 int
 main(int argc, char **argv)
 {
-    auto args = bench::BenchArgs::parse(argc, argv);
+    auto args = bench::BenchArgs::parse("fig2_similarity", argc, argv);
     bench::printHeader(
         "Figure 2: (64-d)-similar live integer values vs d",
         "d=8: 35% in group 1, REST 35%; d=16: 42% in group 1, REST 13%");
 
-    sim::LiveValueOracle oracle({8, 12, 16});
     sim::SimOptions options = args.options;
     options.oracleSamplePeriod =
         static_cast<unsigned>(args.config.getU64("sample", 16));
-    for (const auto &w : workloads::intSuite())
-        sim::simulate(w, core::CoreParams::baseline(), options, &oracle);
+
+    // One job per workload with a private oracle; merging in suite
+    // order reproduces the serial shared-oracle accumulation.
+    std::vector<std::unique_ptr<sim::LiveValueOracle>> oracles;
+    std::vector<sim::ExperimentJob> jobs;
+    for (const auto &w : workloads::intSuite()) {
+        oracles.push_back(std::make_unique<sim::LiveValueOracle>(
+            std::vector<unsigned>{8, 12, 16}));
+        jobs.push_back({w, core::CoreParams::baseline(), options,
+                        "baseline INT", oracles.back().get()});
+    }
+    sim::SuiteRun suite_run;
+    suite_run.results = args.runner.run(jobs);
+    args.report.addSuite("baseline INT", suite_run);
+
+    sim::LiveValueOracle oracle({8, 12, 16});
+    for (const auto &o : oracles)
+        oracle.merge(*o);
 
     Table table("Fig 2: similarity-group shares (INT suite)");
     table.setColumns({"group", "d=8", "d=12", "d=16"});
@@ -54,5 +71,6 @@ main(int argc, char **argv)
         cumulative.addRow(row);
     }
     bench::printTable(cumulative, args);
+    args.writeReport();
     return 0;
 }

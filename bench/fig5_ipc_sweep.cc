@@ -16,7 +16,7 @@ using namespace carf;
 int
 main(int argc, char **argv)
 {
-    auto args = bench::BenchArgs::parse(argc, argv);
+    auto args = bench::BenchArgs::parse("fig5_ipc_sweep", argc, argv);
     bench::printHeader(
         "Figure 5: average relative IPC vs d+n (8 short, 48 long)",
         "INT reaches ~98.3% and FP ~99.7% of unlimited at d+n=20; "
@@ -26,13 +26,13 @@ main(int argc, char **argv)
     const auto &fps = workloads::fpSuite();
 
     auto unlimited_int =
-        sim::runSuite(ints, core::CoreParams::unlimited(), args.options);
+        args.runSuite(ints, core::CoreParams::unlimited(), "unlimited INT");
     auto unlimited_fp =
-        sim::runSuite(fps, core::CoreParams::unlimited(), args.options);
+        args.runSuite(fps, core::CoreParams::unlimited(), "unlimited FP");
     auto baseline_int =
-        sim::runSuite(ints, core::CoreParams::baseline(), args.options);
+        args.runSuite(ints, core::CoreParams::baseline(), "baseline INT");
     auto baseline_fp =
-        sim::runSuite(fps, core::CoreParams::baseline(), args.options);
+        args.runSuite(fps, core::CoreParams::baseline(), "baseline FP");
 
     Table table("Fig 5: relative IPC (100% = unlimited)");
     table.setColumns({"config", "INT", "FP"});
@@ -44,14 +44,16 @@ main(int argc, char **argv)
 
     for (unsigned dn : bench::kDnSweep) {
         auto params = core::CoreParams::contentAware(dn);
-        auto ca_int = sim::runSuite(ints, params, args.options);
-        auto ca_fp = sim::runSuite(fps, params, args.options);
-        table.addRow({strprintf("d+n=%u", dn),
+        auto label = strprintf("d+n=%u", dn);
+        auto ca_int = args.runSuite(ints, params, "CA INT " + label);
+        auto ca_fp = args.runSuite(fps, params, "CA FP " + label);
+        table.addRow({label,
                       Table::pct(sim::meanRelativeIpc(ca_int,
                                                       unlimited_int), 2),
                       Table::pct(sim::meanRelativeIpc(ca_fp,
                                                       unlimited_fp), 2)});
     }
     bench::printTable(table, args);
+    args.writeReport();
     return 0;
 }

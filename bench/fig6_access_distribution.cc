@@ -8,6 +8,8 @@
  * under 20% long-typed.
  */
 
+#include <tuple>
+
 #include "bench_util.hh"
 
 using namespace carf;
@@ -38,23 +40,26 @@ addRows(Table &table, unsigned dn, const sim::SuiteRun &run)
 int
 main(int argc, char **argv)
 {
-    auto args = bench::BenchArgs::parse(argc, argv);
+    auto args =
+        bench::BenchArgs::parse("fig6_access_distribution", argc, argv);
     bench::printHeader(
         "Figure 6: access distribution by value type vs d+n",
         "long share falls with d+n; at d+n=24, >50% short, <20% long");
 
-    for (auto [title, suite] :
-         {std::pair{"Fig 6 INT suite", &workloads::intSuite()},
-          std::pair{"Fig 6 FP suite", &workloads::fpSuite()}}) {
+    for (auto [title, name, suite] :
+         {std::tuple{"Fig 6 INT suite", "INT", &workloads::intSuite()},
+          std::tuple{"Fig 6 FP suite", "FP", &workloads::fpSuite()}}) {
         Table table(title);
         table.setColumns({"config", "rd simple", "rd short", "rd long",
                           "wr simple", "wr short", "wr long"});
         for (unsigned dn : bench::kDnSweep) {
-            auto run = sim::runSuite(
-                *suite, core::CoreParams::contentAware(dn), args.options);
+            auto run = args.runSuite(
+                *suite, core::CoreParams::contentAware(dn),
+                strprintf("CA %s d+n=%u", name, dn));
             addRows(table, dn, run);
         }
         bench::printTable(table, args);
     }
+    args.writeReport();
     return 0;
 }

@@ -9,6 +9,8 @@
  * (~25% of unlimited at the chosen d+n=20).
  */
 
+#include <tuple>
+
 #include "bench_util.hh"
 #include "energy/report.hh"
 
@@ -17,7 +19,7 @@ using namespace carf;
 int
 main(int argc, char **argv)
 {
-    auto args = bench::BenchArgs::parse(argc, argv);
+    auto args = bench::BenchArgs::parse("fig7_energy", argc, argv);
     bench::printHeader(
         "Figure 7: relative register file energy vs d+n",
         "baseline ~48.8% of unlimited; content-aware ~half of baseline");
@@ -26,17 +28,19 @@ main(int argc, char **argv)
     auto unlimited_geom = energy::unlimitedGeometry();
     auto baseline_geom = energy::baselineGeometry();
 
-    for (auto [title, suite] :
-         {std::pair{"Fig 7 INT suite", &workloads::intSuite()},
-          std::pair{"Fig 7 FP suite", &workloads::fpSuite()}}) {
+    for (auto [title, name, suite] :
+         {std::tuple{"Fig 7 INT suite", "INT", &workloads::intSuite()},
+          std::tuple{"Fig 7 FP suite", "FP", &workloads::fpSuite()}}) {
         // Reference energies use the unlimited run's access counts.
-        auto unlimited_run = sim::runSuite(
-            *suite, core::CoreParams::unlimited(), args.options);
+        auto unlimited_run = args.runSuite(
+            *suite, core::CoreParams::unlimited(),
+            strprintf("unlimited %s", name));
         double unlimited_energy = energy::conventionalEnergy(
             model, unlimited_geom, unlimited_run.totalAccesses());
 
-        auto baseline_run = sim::runSuite(
-            *suite, core::CoreParams::baseline(), args.options);
+        auto baseline_run = args.runSuite(
+            *suite, core::CoreParams::baseline(),
+            strprintf("baseline %s", name));
         double baseline_energy = energy::conventionalEnergy(
             model, baseline_geom, baseline_run.totalAccesses());
 
@@ -49,7 +53,8 @@ main(int argc, char **argv)
 
         for (unsigned dn : bench::kDnSweep) {
             auto params = core::CoreParams::contentAware(dn);
-            auto run = sim::runSuite(*suite, params, args.options);
+            auto run = args.runSuite(*suite, params,
+                                     strprintf("CA %s d+n=%u", name, dn));
             auto geom =
                 energy::caGeometry(params.physIntRegs, params.ca);
             double ca_energy = energy::contentAwareEnergy(
@@ -61,5 +66,6 @@ main(int argc, char **argv)
         }
         bench::printTable(table, args);
     }
+    args.writeReport();
     return 0;
 }

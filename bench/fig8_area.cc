@@ -15,7 +15,7 @@ using namespace carf;
 int
 main(int argc, char **argv)
 {
-    auto args = bench::BenchArgs::parse(argc, argv);
+    auto args = bench::BenchArgs::parse("fig8_area", argc, argv);
     bench::printHeader(
         "Figure 8: relative register file area vs d+n",
         "content-aware total = 82.1% of baseline at d+n=20");
@@ -46,5 +46,6 @@ main(int argc, char **argv)
                       Table::pct(total / baseline_area)});
     }
     bench::printTable(table, args);
+    args.writeReport();
     return 0;
 }

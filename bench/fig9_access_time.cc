@@ -18,7 +18,7 @@ using namespace carf;
 int
 main(int argc, char **argv)
 {
-    auto args = bench::BenchArgs::parse(argc, argv);
+    auto args = bench::BenchArgs::parse("fig9_access_time", argc, argv);
     bench::printHeader(
         "Figure 9: relative access time of the register files vs d+n",
         "all sub-files faster than baseline; up to ~15% clock headroom");
@@ -52,11 +52,11 @@ main(int argc, char **argv)
     // §5 speed-up estimate at the paper's chosen point (d+n=20),
     // using the measured INT relative IPC.
     auto params = core::CoreParams::contentAware(20);
-    auto baseline_run = sim::runSuite(workloads::intSuite(),
+    auto baseline_run = args.runSuite(workloads::intSuite(),
                                       core::CoreParams::baseline(),
-                                      args.options);
-    auto ca_run =
-        sim::runSuite(workloads::intSuite(), params, args.options);
+                                      "baseline INT");
+    auto ca_run = args.runSuite(workloads::intSuite(), params,
+                                "CA INT d+n=20");
     double rel_ipc = sim::meanRelativeIpc(ca_run, baseline_run);
 
     auto geom = energy::caGeometry(params.physIntRegs, params.ca);
@@ -76,5 +76,6 @@ main(int argc, char **argv)
                     Table::pct(sim::frequencyScaledSpeedup(rel_ipc,
                                                            max_gain))});
     bench::printTable(speedup, args);
+    args.writeReport();
     return 0;
 }

@@ -90,4 +90,28 @@ BENCHMARK(BM_PipelineThroughput)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() that defaults --benchmark_out to the
+// same per-harness JSON convention the other bench drivers use.
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args(argv, argv + argc);
+    std::string out_flag = "--benchmark_out=BENCH_micro_regfile.json";
+    std::string format_flag = "--benchmark_out_format=json";
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0)
+            has_out = true;
+    }
+    if (!has_out) {
+        args.push_back(out_flag.data());
+        args.push_back(format_flag.data());
+    }
+    int args_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&args_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_argc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -15,10 +15,9 @@ namespace
 
 double
 relIpc(const core::CoreParams &params, const sim::SuiteRun &reference,
-       const bench::BenchArgs &args)
+       const bench::BenchArgs &args, const std::string &label)
 {
-    auto run = sim::runSuite(workloads::intSuite(), params,
-                             args.options);
+    auto run = args.runSuite(workloads::intSuite(), params, label);
     return sim::meanRelativeIpc(run, reference);
 }
 
@@ -27,15 +26,16 @@ relIpc(const core::CoreParams &params, const sim::SuiteRun &reference,
 int
 main(int argc, char **argv)
 {
-    auto args = bench::BenchArgs::parse(argc, argv);
+    auto args =
+        bench::BenchArgs::parse("tab1_baseline_selection", argc, argv);
     bench::printHeader(
         "§4: baseline register file selection (INT suite)",
         "112 regs cost ~1%; 8R costs 0.17%; 6W costs 0.21% vs "
         "unlimited");
 
-    auto unlimited = sim::runSuite(workloads::intSuite(),
+    auto unlimited = args.runSuite(workloads::intSuite(),
                                    core::CoreParams::unlimited(),
-                                   args.options);
+                                   "unlimited INT");
 
     Table table("relative IPC vs unlimited (160 regs, 16R/8W)");
     table.setColumns({"configuration", "relative IPC"});
@@ -44,8 +44,10 @@ main(int argc, char **argv)
     for (unsigned regs : {160u, 128u, 112u, 96u}) {
         auto params = core::CoreParams::unlimited();
         params.physIntRegs = regs;
-        table.addRow({strprintf("%u regs, 16R/8W", regs),
-                      Table::pct(relIpc(params, unlimited, args), 2)});
+        auto label = strprintf("%u regs, 16R/8W", regs);
+        table.addRow({label,
+                      Table::pct(relIpc(params, unlimited, args, label),
+                                 2)});
     }
 
     // Read port sweep at 112 regs.
@@ -53,8 +55,10 @@ main(int argc, char **argv)
         auto params = core::CoreParams::unlimited();
         params.physIntRegs = 112;
         params.intRfReadPorts = rd;
-        table.addRow({strprintf("112 regs, %uR/8W", rd),
-                      Table::pct(relIpc(params, unlimited, args), 2)});
+        auto label = strprintf("112 regs, %uR/8W", rd);
+        table.addRow({label,
+                      Table::pct(relIpc(params, unlimited, args, label),
+                                 2)});
     }
 
     // Write port sweep at 112 regs, 8 read ports.
@@ -63,10 +67,13 @@ main(int argc, char **argv)
         params.physIntRegs = 112;
         params.intRfReadPorts = 8;
         params.intRfWritePorts = wr;
-        table.addRow({strprintf("112 regs, 8R/%uW", wr),
-                      Table::pct(relIpc(params, unlimited, args), 2)});
+        auto label = strprintf("112 regs, 8R/%uW", wr);
+        table.addRow({label,
+                      Table::pct(relIpc(params, unlimited, args, label),
+                                 2)});
     }
 
     bench::printTable(table, args);
+    args.writeReport();
     return 0;
 }

@@ -16,7 +16,7 @@ using namespace carf;
 int
 main(int argc, char **argv)
 {
-    auto args = bench::BenchArgs::parse(argc, argv);
+    auto args = bench::BenchArgs::parse("tab2_bypass", argc, argv);
     bench::printHeader(
         "Table 2: percentage of bypassed operands",
         "baseline INT 38.1% / FP 21.1%; content-aware 47.9% / 28.4%");
@@ -26,13 +26,16 @@ main(int argc, char **argv)
     for (auto [name, suite] :
          {std::pair{"INT", &workloads::intSuite()},
           std::pair{"FP", &workloads::fpSuite()}}) {
-        auto baseline_run = sim::runSuite(
-            *suite, core::CoreParams::baseline(), args.options);
-        auto ca_run = sim::runSuite(
-            *suite, core::CoreParams::contentAware(20), args.options);
+        auto baseline_run =
+            args.runSuite(*suite, core::CoreParams::baseline(),
+                          strprintf("baseline %s", name));
+        auto ca_run =
+            args.runSuite(*suite, core::CoreParams::contentAware(20),
+                          strprintf("CA %s d+n=20", name));
         table.addRow({name, Table::pct(baseline_run.bypassFraction()),
                       Table::pct(ca_run.bypassFraction())});
     }
     bench::printTable(table, args);
+    args.writeReport();
     return 0;
 }

@@ -15,7 +15,7 @@ using namespace carf;
 int
 main(int argc, char **argv)
 {
-    auto args = bench::BenchArgs::parse(argc, argv);
+    auto args = bench::BenchArgs::parse("tab3_access_energy", argc, argv);
     bench::printHeader(
         "Table 3: single-access energy normalized to unlimited",
         "at d+n=20: simple 10.8%, short 2.9%, long 16.9%; "
@@ -40,5 +40,6 @@ main(int argc, char **argv)
                       Table::pct(baseline / unlimited)});
     }
     bench::printTable(table, args);
+    args.writeReport();
     return 0;
 }

@@ -16,15 +16,15 @@ using namespace carf;
 int
 main(int argc, char **argv)
 {
-    auto args = bench::BenchArgs::parse(argc, argv);
+    auto args = bench::BenchArgs::parse("tab4_operand_mix", argc, argv);
     bench::printHeader(
         "Table 4: operation distribution by source operand types "
         "(d+n=20)",
         "same-type operands for >86% of integer instructions");
 
-    auto run = sim::runSuite(workloads::intSuite(),
+    auto run = args.runSuite(workloads::intSuite(),
                              core::CoreParams::contentAware(20),
-                             args.options);
+                             "CA INT d+n=20");
     auto mix = run.totalOperandMix();
 
     Table table("Tab 4: integer-instruction source operand mix");
@@ -39,5 +39,6 @@ main(int argc, char **argv)
     bench::printTable(table, args);
     std::printf("same-type instructions: %s (paper: >86%%)\n",
                 Table::pct(same_type).c_str());
+    args.writeReport();
     return 0;
 }

@@ -1,7 +1,9 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace carf
@@ -10,7 +12,24 @@ namespace carf
 namespace
 {
 
-int g_verbosity = 1;
+// The experiment engine calls into logging from worker threads:
+// verbosity is atomic and message emission is serialized so
+// concurrent warn()/inform() lines never interleave mid-line.
+std::atomic<int> g_verbosity{1};
+
+std::mutex &
+outputMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+void
+emit(const char *prefix, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(outputMutex());
+    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+}
 
 std::string
 vformat(const char *fmt, va_list ap)
@@ -31,13 +50,13 @@ vformat(const char *fmt, va_list ap)
 void
 setLogVerbosity(int level)
 {
-    g_verbosity = level;
+    g_verbosity.store(level, std::memory_order_relaxed);
 }
 
 int
 logVerbosity()
 {
-    return g_verbosity;
+    return g_verbosity.load(std::memory_order_relaxed);
 }
 
 void
@@ -47,7 +66,7 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    emit("panic", msg);
     std::abort();
 }
 
@@ -58,32 +77,32 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    emit("fatal", msg);
     std::exit(1);
 }
 
 void
 warn(const char *fmt, ...)
 {
-    if (g_verbosity < 1)
+    if (logVerbosity() < 1)
         return;
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emit("warn", msg);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (g_verbosity < 1)
+    if (logVerbosity() < 1)
         return;
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emit("info", msg);
 }
 
 std::string

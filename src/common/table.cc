@@ -55,6 +55,12 @@ Table::cell(size_t row, size_t col) const
     return rows_.at(row).at(col);
 }
 
+const std::string &
+Table::header(size_t col) const
+{
+    return headers_.at(col);
+}
+
 std::string
 Table::render() const
 {

@@ -38,6 +38,7 @@ class Table
     size_t rowCount() const { return rows_.size(); }
     size_t columnCount() const { return headers_.size(); }
     const std::string &cell(size_t row, size_t col) const;
+    const std::string &header(size_t col) const;
     const std::string &title() const { return title_; }
 
   private:

@@ -117,6 +117,13 @@ struct RunResult
     double avgLiveLong = 0.0;
     double avgLiveShort = 0.0;
 
+    /**
+     * Host wall-clock seconds this run took (trace construction,
+     * warm-up, and timed simulation). The only nondeterministic
+     * field: equivalence checks must ignore it.
+     */
+    double wallSeconds = 0.0;
+
     double branchMispredictRate() const
     {
         return condBranches

@@ -1,0 +1,73 @@
+#include "sim/experiment_runner.hh"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace carf::sim
+{
+
+unsigned
+ExperimentRunner::hardwareJobs()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+ExperimentRunner::ExperimentRunner(unsigned jobs)
+    : jobs_(jobs ? jobs : hardwareJobs())
+{
+}
+
+std::vector<core::RunResult>
+ExperimentRunner::run(const std::vector<ExperimentJob> &batch,
+                      const ProgressFn &progress) const
+{
+    std::vector<core::RunResult> results(batch.size());
+
+    // Serial fast path: no pool, no synchronization.
+    if (jobs_ <= 1 || batch.size() <= 1) {
+        for (size_t i = 0; i < batch.size(); ++i) {
+            const ExperimentJob &job = batch[i];
+            results[i] = simulate(job.workload, job.params,
+                                  job.options, job.oracle);
+            if (progress)
+                progress({i + 1, batch.size(), job, results[i]});
+        }
+        return results;
+    }
+
+    // Work-stealing over an atomic cursor: each worker claims the
+    // next unclaimed index and writes its result into that slot, so
+    // submission order is preserved no matter which worker finishes
+    // first. The calling thread participates as a worker.
+    std::atomic<size_t> next{0};
+    std::mutex progress_mutex;
+    size_t completed = 0;
+
+    auto work = [&]() {
+        for (size_t i = next.fetch_add(1); i < batch.size();
+             i = next.fetch_add(1)) {
+            const ExperimentJob &job = batch[i];
+            core::RunResult result = simulate(job.workload, job.params,
+                                              job.options, job.oracle);
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            results[i] = std::move(result);
+            ++completed;
+            if (progress)
+                progress({completed, batch.size(), job, results[i]});
+        }
+    };
+
+    size_t workers = std::min<size_t>(jobs_, batch.size());
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (size_t w = 1; w < workers; ++w)
+        pool.emplace_back(work);
+    work();
+    for (auto &thread : pool)
+        thread.join();
+    return results;
+}
+
+} // namespace carf::sim

@@ -102,14 +102,34 @@ SuiteRun::meanAvgLiveLong() const
     return sum / results.size();
 }
 
+std::vector<ExperimentJob>
+suiteJobs(const std::vector<workloads::Workload> &suite,
+          const core::CoreParams &params, const SimOptions &options,
+          const std::string &tag)
+{
+    std::vector<ExperimentJob> jobs;
+    jobs.reserve(suite.size());
+    for (const auto &workload : suite)
+        jobs.push_back({workload, params, options, tag, nullptr});
+    return jobs;
+}
+
 SuiteRun
 runSuite(const std::vector<workloads::Workload> &suite,
-         const core::CoreParams &params, const SimOptions &options)
+         const core::CoreParams &params, const SimOptions &options,
+         unsigned jobs)
+{
+    return runSuite(suite, params, options, ExperimentRunner(jobs));
+}
+
+SuiteRun
+runSuite(const std::vector<workloads::Workload> &suite,
+         const core::CoreParams &params, const SimOptions &options,
+         const ExperimentRunner &runner,
+         const ExperimentRunner::ProgressFn &progress)
 {
     SuiteRun run;
-    run.results.reserve(suite.size());
-    for (const auto &workload : suite)
-        run.results.push_back(simulate(workload, params, options));
+    run.results = runner.run(suiteJobs(suite, params, options), progress);
     return run;
 }
 
@@ -125,6 +145,12 @@ meanRelativeIpc(const SuiteRun &test, const SuiteRun &reference)
     for (size_t i = 0; i < test.results.size(); ++i) {
         if (test.results[i].workload != reference.results[i].workload)
             fatal("meanRelativeIpc: workload order mismatch at %zu", i);
+        if (reference.results[i].ipc <= 0.0)
+            fatal("meanRelativeIpc: reference run of '%s' has zero "
+                  "IPC (%llu insts in %llu cycles); cannot normalize",
+                  reference.results[i].workload.c_str(),
+                  (unsigned long long)reference.results[i].committedInsts,
+                  (unsigned long long)reference.results[i].cycles);
         sum += test.results[i].ipc / reference.results[i].ipc;
     }
     return sum / test.results.size();

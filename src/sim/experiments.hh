@@ -7,8 +7,10 @@
 #ifndef CARF_SIM_EXPERIMENTS_HH
 #define CARF_SIM_EXPERIMENTS_HH
 
+#include <string>
 #include <vector>
 
+#include "sim/experiment_runner.hh"
 #include "sim/simulator.hh"
 
 namespace carf::sim
@@ -35,10 +37,28 @@ struct SuiteRun
     double meanAvgLiveLong() const;
 };
 
-/** Simulate every workload in @p suite under @p params. */
+/** One ExperimentJob per workload in @p suite, all under @p params. */
+std::vector<ExperimentJob>
+suiteJobs(const std::vector<workloads::Workload> &suite,
+          const core::CoreParams &params, const SimOptions &options = {},
+          const std::string &tag = "");
+
+/**
+ * Simulate every workload in @p suite under @p params using @p jobs
+ * worker threads (1 = serial on the calling thread, 0 = one per
+ * hardware thread). Results are in suite order and bit-identical for
+ * every worker count.
+ */
 SuiteRun runSuite(const std::vector<workloads::Workload> &suite,
                   const core::CoreParams &params,
-                  const SimOptions &options = {});
+                  const SimOptions &options = {}, unsigned jobs = 1);
+
+/** As above, on an existing runner (shared pool sizing/progress). */
+SuiteRun runSuite(const std::vector<workloads::Workload> &suite,
+                  const core::CoreParams &params,
+                  const SimOptions &options,
+                  const ExperimentRunner &runner,
+                  const ExperimentRunner::ProgressFn &progress = {});
 
 /**
  * Mean of per-workload IPC ratios test/reference (the paper's

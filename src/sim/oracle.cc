@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/bitutil.hh"
+#include "common/logging.hh"
 
 namespace carf::sim
 {
@@ -55,6 +56,14 @@ GroupAccumulator::addSample(std::vector<u32> &group_sizes)
     }
 }
 
+void
+GroupAccumulator::merge(const GroupAccumulator &other)
+{
+    for (unsigned b = 0; b < numBuckets; ++b)
+        buckets_[b] += other.buckets_[b];
+    total_ += other.total_;
+}
+
 double
 GroupAccumulator::fraction(unsigned bucket) const
 {
@@ -103,6 +112,18 @@ LiveValueOracle::sampleCycle(Cycle cycle,
             sizes.push_back(count);
         similarity_[i].addSample(sizes);
     }
+}
+
+void
+LiveValueOracle::merge(const LiveValueOracle &other)
+{
+    if (other.ds_ != ds_)
+        panic("LiveValueOracle::merge: mismatched similarity d lists");
+    exact_.merge(other.exact_);
+    for (size_t i = 0; i < similarity_.size(); ++i)
+        similarity_[i].merge(other.similarity_[i]);
+    samples_ += other.samples_;
+    liveRegSum_ += other.liveRegSum_;
 }
 
 double

@@ -31,6 +31,9 @@ class GroupAccumulator
     /** Add one sample: @p group_sizes is the per-group populations. */
     void addSample(std::vector<u32> &group_sizes);
 
+    /** Fold another accumulator's samples into this one. */
+    void merge(const GroupAccumulator &other);
+
     /** Fraction of live registers in @p bucket across all samples. */
     double fraction(unsigned bucket) const;
     u64 total() const { return total_; }
@@ -60,6 +63,14 @@ class LiveValueOracle : public core::CycleObserver
     u64 samples() const { return samples_; }
     /** Mean number of live integer registers per sample. */
     double avgLiveRegs() const;
+
+    /**
+     * Fold another oracle's accumulated samples into this one; the
+     * two must have been built with the same similarity d list. Lets
+     * parallel per-workload runs (one oracle each) reduce to the
+     * suite-level aggregate the serial loop produced.
+     */
+    void merge(const LiveValueOracle &other);
 
   private:
     std::vector<unsigned> ds_;

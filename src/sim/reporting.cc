@@ -44,8 +44,8 @@ runResultJson(const core::RunResult &result)
 {
     const auto &c = result.intRfAccesses;
     std::string json = "{";
-    json += strprintf("\"workload\":\"%s\",", result.workload.c_str());
-    json += strprintf("\"config\":\"%s\",", result.config.c_str());
+    json += "\"workload\":" + jsonString(result.workload) + ",";
+    json += "\"config\":" + jsonString(result.config) + ",";
     json += strprintf("\"cycles\":%llu,",
                       (unsigned long long)result.cycles);
     json += strprintf("\"insts\":%llu,",
@@ -72,8 +72,56 @@ runResultJson(const core::RunResult &result)
     json += strprintf("\"recoveries\":%llu,",
                       (unsigned long long)result.recoveries);
     json += strprintf("\"avg_live_long\":%.3f,", result.avgLiveLong);
-    json += strprintf("\"avg_live_short\":%.3f", result.avgLiveShort);
+    json += strprintf("\"avg_live_short\":%.3f,", result.avgLiveShort);
+    json += strprintf("\"wall_seconds\":%.6f", result.wallSeconds);
     json += "}";
+    return json;
+}
+
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    out += "\"";
+    return out;
+}
+
+std::string
+tableJson(const Table &table)
+{
+    std::string json = "{\"title\":" + jsonString(table.title());
+    json += ",\"columns\":[";
+    for (size_t c = 0; c < table.columnCount(); ++c) {
+        if (c)
+            json += ",";
+        json += jsonString(table.header(c));
+    }
+    json += "],\"rows\":[";
+    for (size_t r = 0; r < table.rowCount(); ++r) {
+        if (r)
+            json += ",";
+        json += "[";
+        for (size_t c = 0; c < table.columnCount(); ++c) {
+            if (c)
+                json += ",";
+            json += jsonString(table.cell(r, c));
+        }
+        json += "]";
+    }
+    json += "]}";
     return json;
 }
 

@@ -35,6 +35,17 @@ std::string runResultJson(const core::RunResult &result);
 /** JSON array of runResultJson objects for a whole suite run. */
 std::string suiteRunJson(const SuiteRun &run);
 
+/** JSON string literal (quotes and escapes @p s). */
+std::string jsonString(const std::string &s);
+
+/**
+ * JSON object for a rendered Table:
+ * {"title":..., "columns":[...], "rows":[[...],...]}. Cells are the
+ * formatted strings the ASCII renderer prints, so a table serialized
+ * from a jobs=1 run and a jobs=N run compare byte-identical.
+ */
+std::string tableJson(const Table &table);
+
 } // namespace carf::sim
 
 #endif // CARF_SIM_REPORTING_HH

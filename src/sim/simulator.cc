@@ -1,5 +1,7 @@
 #include "sim/simulator.hh"
 
+#include <chrono>
+
 namespace carf::sim
 {
 
@@ -8,6 +10,8 @@ simulate(const workloads::Workload &workload,
          const core::CoreParams &params, const SimOptions &options,
          LiveValueOracle *oracle)
 {
+    auto start = std::chrono::steady_clock::now();
+
     core::CoreParams run_params = params;
     run_params.oracleSamplePeriod = options.oracleSamplePeriod;
 
@@ -16,7 +20,13 @@ simulate(const workloads::Workload &workload,
     core::Pipeline pipeline(run_params);
     if (options.fastForward > 0)
         pipeline.warmUp(*trace, options.fastForward);
-    return pipeline.run(*trace, oracle);
+    core::RunResult result = pipeline.run(*trace, oracle);
+
+    result.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return result;
 }
 
 } // namespace carf::sim
