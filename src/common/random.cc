@@ -114,4 +114,26 @@ Rng::geometric(double p, unsigned cap)
     return n;
 }
 
+Rng
+Rng::split()
+{
+    // One draw advances the parent, so successive splits yield
+    // distinct children; the golden-ratio xor decorrelates the child
+    // seed from the parent's raw output stream.
+    return Rng(next() ^ 0x9e3779b97f4a7c15ull);
+}
+
+u64
+Rng::nextMagnitudeBiased()
+{
+    unsigned width = 1 + static_cast<unsigned>(nextBounded(64));
+    u64 value = width == 64 ? next() : next() & ((u64{1} << width) - 1);
+    // Nudge onto the 2^(width-1) boundary some of the time.
+    if (chance(0.25))
+        value = (u64{1} << (width - 1)) + (next() & 3) - 2;
+    if (chance(0.5))
+        value = ~value + 1; // negate: all-ones high bits
+    return value;
+}
+
 } // namespace carf

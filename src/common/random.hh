@@ -47,6 +47,22 @@ class Rng
     /** Geometric-ish small integer: number of trailing successes. */
     unsigned geometric(double p, unsigned cap);
 
+    /**
+     * Derive a statistically independent child generator. Used to give
+     * each parallel job (e.g.\ one fuzz seed stream per worker) its own
+     * deterministic stream: splitting is a draw on the parent, so the
+     * sequence of children depends only on the parent seed.
+     */
+    Rng split();
+
+    /**
+     * A 64-bit value whose bit width is itself uniform in [1, 64]:
+     * heavily biased toward small magnitudes and power-of-two
+     * boundaries, where sign-extension and field-width bugs live.
+     * Occasionally negates the draw to cover the all-ones high halves.
+     */
+    u64 nextMagnitudeBiased();
+
   private:
     u64 state_[4];
 };

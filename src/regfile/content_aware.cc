@@ -24,6 +24,11 @@ ContentAwareParams::validate() const
     sim.validate();
     if (longEntries < 1)
         fatal("ContentAwareParams: need at least one Long entry");
+    if (issueStallThreshold >= longEntries) {
+        fatal("ContentAwareParams: issue-stall threshold %u >= K=%u "
+              "Long entries would stall issue forever",
+              issueStallThreshold, longEntries);
+    }
     if (longPointerBits() > sim.simpleFieldBits()) {
         fatal("ContentAwareParams: long pointer (%u bits) does not fit "
               "the simple value field (%u bits)",
@@ -223,6 +228,106 @@ void
 ContentAwareRegFile::onRobInterval()
 {
     shortFile_.robIntervalTick();
+}
+
+unsigned
+ContentAwareRegFile::liveLongEntries() const
+{
+    unsigned live = 0;
+    for (const Entry &entry : file_)
+        live += entry.live && entry.type == ValueType::Long ? 1 : 0;
+    return live;
+}
+
+std::string
+ContentAwareRegFile::checkInvariants() const
+{
+    std::string short_err = shortFile_.checkInvariants();
+    if (!short_err.empty())
+        return short_err;
+
+    const SimilarityParams &sim = params_.sim;
+    unsigned field_bits = sim.simpleFieldBits();
+    unsigned long_low_bits = field_bits - params_.longPointerBits();
+
+    std::vector<unsigned> short_refs(shortFile_.entries(), 0);
+    std::vector<bool> long_owned(longFile_.size(), false);
+    unsigned live_real_long = 0;
+
+    for (u32 tag = 0; tag < entries_; ++tag) {
+        const Entry &entry = file_[tag];
+        if (!entry.live)
+            continue;
+        switch (entry.type) {
+          case ValueType::Simple:
+            if (field_bits < 64 && (entry.valueField >> field_bits) != 0)
+                return strprintf("%s: tag %u simple field %llx exceeds "
+                                 "%u bits", name_.c_str(), tag,
+                                 (unsigned long long)entry.valueField,
+                                 field_bits);
+            break;
+          case ValueType::Short:
+            if (entry.subIndex >= shortFile_.entries())
+                return strprintf("%s: tag %u short index %u out of "
+                                 "range", name_.c_str(), tag,
+                                 entry.subIndex);
+            if (!shortFile_.valid(entry.subIndex))
+                return strprintf("%s: tag %u references invalid Short "
+                                 "slot %u", name_.c_str(), tag,
+                                 entry.subIndex);
+            if (field_bits < 64 && (entry.valueField >> field_bits) != 0)
+                return strprintf("%s: tag %u short field %llx exceeds "
+                                 "%u bits", name_.c_str(), tag,
+                                 (unsigned long long)entry.valueField,
+                                 field_bits);
+            ++short_refs[entry.subIndex];
+            break;
+          case ValueType::Long:
+            if (entry.subIndex >= longFile_.size())
+                return strprintf("%s: tag %u long index %u out of "
+                                 "range", name_.c_str(), tag,
+                                 entry.subIndex);
+            if (long_owned[entry.subIndex])
+                return strprintf("%s: Long entry %u owned by two live "
+                                 "tags", name_.c_str(), entry.subIndex);
+            long_owned[entry.subIndex] = true;
+            if (long_low_bits < 64 &&
+                (entry.valueField >> long_low_bits) != 0)
+                return strprintf("%s: tag %u long low field %llx "
+                                 "exceeds %u bits", name_.c_str(), tag,
+                                 (unsigned long long)entry.valueField,
+                                 long_low_bits);
+            if (entry.subIndex < params_.longEntries)
+                ++live_real_long;
+            break;
+        }
+    }
+
+    for (unsigned i = 0; i < shortFile_.entries(); ++i) {
+        if (shortFile_.refCount(i) != short_refs[i])
+            return strprintf("%s: Short slot %u refcount %u != %u live "
+                             "references", name_.c_str(), i,
+                             shortFile_.refCount(i), short_refs[i]);
+    }
+
+    std::vector<bool> free_seen(longFile_.size(), false);
+    for (u32 idx : freeLong_) {
+        if (idx >= params_.longEntries)
+            return strprintf("%s: overflow Long entry %u on the free "
+                             "list", name_.c_str(), idx);
+        if (free_seen[idx])
+            return strprintf("%s: Long entry %u freed twice",
+                             name_.c_str(), idx);
+        free_seen[idx] = true;
+        if (long_owned[idx])
+            return strprintf("%s: Long entry %u both free and live",
+                             name_.c_str(), idx);
+    }
+    if (freeLong_.size() + live_real_long != params_.longEntries)
+        return strprintf("%s: %zu free + %u live Long entries != K=%u",
+                         name_.c_str(), freeLong_.size(),
+                         live_real_long, params_.longEntries);
+    return "";
 }
 
 ValueType

@@ -78,18 +78,58 @@ class ContentAwareRegFile : public RegisterFile
     /** Classify @p value against current state, with no side effects. */
     ValueType classifyPeek(u64 value) const
     {
-        unsigned idx = 0;
-        return classifyValue(value, params_.sim, shortFile_, idx);
+        return classifyValue(value, params_.sim, shortFile_);
     }
 
     unsigned freeLongEntries() const
     {
         return static_cast<unsigned>(freeLong_.size());
     }
+    /** Tags currently live with a Long-typed value (overflow included). */
     unsigned liveLongEntries() const;
+    /**
+     * Emergency Long entries grown by §3.2 pseudo-deadlock recovery.
+     * They retire permanently on release, so this only ever grows.
+     */
+    unsigned overflowLongEntries() const
+    {
+        return static_cast<unsigned>(longFile_.size()) -
+               params_.longEntries;
+    }
     unsigned liveShortEntries() const { return shortFile_.liveEntries(); }
     const ContentAwareParams &params() const { return params_; }
     const ShortFile &shortFile() const { return shortFile_; }
+
+    /**
+     * Sub-file index of @p tag's current entry (Short or Long file;
+     * 0 for Simple). Debug/testing visibility for the shadow oracle's
+     * reference-count model; counts no access.
+     */
+    unsigned peekSubIndex(u32 tag) const { return file_.at(tag).subIndex; }
+
+    /**
+     * Structural self-check (debug/testing): empty string when every
+     * invariant holds, else a description of the first violation.
+     *
+     * Checked invariants:
+     *  - ShortFile::checkInvariants() on the embedded Short file;
+     *  - every live Short-typed tag points at a valid Short slot, and
+     *    each slot's reference count equals the number of live tags
+     *    pointing at it;
+     *  - live Long-typed tags hold unique, in-bounds Long indices that
+     *    are absent from the free list;
+     *  - the free list holds unique real (non-overflow) indices, and
+     *    free + live real Long entries account for exactly K;
+     *  - every value field fits its configured bit width.
+     */
+    std::string checkInvariants() const;
+
+    /**
+     * Mutable Short-file access for fault-injection tests ONLY: lets a
+     * harness corrupt reference counts to prove the invariant checks
+     * catch it. Never call from model code.
+     */
+    ShortFile &debugShortFile() { return shortFile_; }
 
     u64 longAllocStalls() const { return longAllocStalls_.value(); }
     u64 recoveries() const { return recoveries_.value(); }

@@ -149,6 +149,33 @@ ShortFile::robIntervalTick()
     }
 }
 
+std::string
+ShortFile::checkInvariants() const
+{
+    unsigned tag_bits = associative_ ? 64 - params_.d
+                                     : params_.shortEntryBits();
+    for (unsigned i = 0; i < slots_.size(); ++i) {
+        const Slot &slot = slots_[i];
+        if (!slot.valid) {
+            // Reclamation requires refs == 0 and both epoch bits
+            // clear, and allocation resets the slot, so an invalid
+            // slot must carry no stale bookkeeping.
+            if (slot.refs != 0)
+                return strprintf("ShortFile: invalid slot %u has %u "
+                                 "refs", i, slot.refs);
+            if (slot.tcur || slot.told)
+                return strprintf("ShortFile: invalid slot %u has "
+                                 "epoch bits set", i);
+            continue;
+        }
+        if (tag_bits < 64 && (slot.tag >> tag_bits) != 0)
+            return strprintf("ShortFile: slot %u tag %llx exceeds "
+                             "%u bits", i,
+                             (unsigned long long)slot.tag, tag_bits);
+    }
+    return "";
+}
+
 u64
 ShortFile::tag(unsigned idx) const
 {
@@ -176,6 +203,14 @@ classifyValue(u64 value, const SimilarityParams &params,
     if (short_file.lookup(value, short_idx))
         return ValueType::Short;
     return ValueType::Long;
+}
+
+ValueType
+classifyValue(u64 value, const SimilarityParams &params,
+              const ShortFile &short_file)
+{
+    unsigned idx;
+    return classifyValue(value, params, short_file, idx);
 }
 
 } // namespace carf::regfile

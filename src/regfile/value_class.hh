@@ -20,6 +20,7 @@
 #ifndef CARF_REGFILE_VALUE_CLASS_HH
 #define CARF_REGFILE_VALUE_CLASS_HH
 
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -114,6 +115,14 @@ class ShortFile
     u64 allocations() const { return allocations_; }
     u64 reclamations() const { return reclamations_; }
 
+    /**
+     * Structural self-check (debug/testing): returns an empty string
+     * when every invariant holds, else a description of the first
+     * violation. Checked invariants: invalid slots carry no reference
+     * counts or epoch bits, and every stored tag fits its field width.
+     */
+    std::string checkInvariants() const;
+
   private:
     struct Slot
     {
@@ -140,6 +149,15 @@ class ShortFile
  */
 ValueType classifyValue(u64 value, const SimilarityParams &params,
                         const ShortFile &short_file, unsigned &short_idx);
+
+/**
+ * Const classification path: identical taxonomy, but without the
+ * Short-index out-parameter. Use this wherever the caller only needs
+ * the type (peeks, statistics) — it cannot be abused to smuggle state
+ * out of a classification that must stay side-effect free.
+ */
+ValueType classifyValue(u64 value, const SimilarityParams &params,
+                        const ShortFile &short_file);
 
 } // namespace carf::regfile
 

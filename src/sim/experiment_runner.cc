@@ -19,47 +19,28 @@ ExperimentRunner::ExperimentRunner(unsigned jobs)
 {
 }
 
-std::vector<core::RunResult>
-ExperimentRunner::run(const std::vector<ExperimentJob> &batch,
-                      const ProgressFn &progress) const
+void
+ExperimentRunner::runTasks(size_t count,
+                           const std::function<void(size_t)> &task) const
 {
-    std::vector<core::RunResult> results(batch.size());
-
     // Serial fast path: no pool, no synchronization.
-    if (jobs_ <= 1 || batch.size() <= 1) {
-        for (size_t i = 0; i < batch.size(); ++i) {
-            const ExperimentJob &job = batch[i];
-            results[i] = simulate(job.workload, job.params,
-                                  job.options, job.oracle);
-            if (progress)
-                progress({i + 1, batch.size(), job, results[i]});
-        }
-        return results;
+    if (jobs_ <= 1 || count <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            task(i);
+        return;
     }
 
     // Work-stealing over an atomic cursor: each worker claims the
-    // next unclaimed index and writes its result into that slot, so
-    // submission order is preserved no matter which worker finishes
-    // first. The calling thread participates as a worker.
+    // next unclaimed index, so every index runs exactly once. The
+    // calling thread participates as a worker.
     std::atomic<size_t> next{0};
-    std::mutex progress_mutex;
-    size_t completed = 0;
-
     auto work = [&]() {
-        for (size_t i = next.fetch_add(1); i < batch.size();
-             i = next.fetch_add(1)) {
-            const ExperimentJob &job = batch[i];
-            core::RunResult result = simulate(job.workload, job.params,
-                                              job.options, job.oracle);
-            std::lock_guard<std::mutex> lock(progress_mutex);
-            results[i] = std::move(result);
-            ++completed;
-            if (progress)
-                progress({completed, batch.size(), job, results[i]});
-        }
+        for (size_t i = next.fetch_add(1); i < count;
+             i = next.fetch_add(1))
+            task(i);
     };
 
-    size_t workers = std::min<size_t>(jobs_, batch.size());
+    size_t workers = std::min<size_t>(jobs_, count);
     std::vector<std::thread> pool;
     pool.reserve(workers - 1);
     for (size_t w = 1; w < workers; ++w)
@@ -67,6 +48,31 @@ ExperimentRunner::run(const std::vector<ExperimentJob> &batch,
     work();
     for (auto &thread : pool)
         thread.join();
+}
+
+std::vector<core::RunResult>
+ExperimentRunner::run(const std::vector<ExperimentJob> &batch,
+                      const ProgressFn &progress) const
+{
+    std::vector<core::RunResult> results(batch.size());
+
+    // Results land in submission-order slots no matter which worker
+    // finishes first, so a parallel batch is bit-identical to a
+    // serial one. The mutex both serializes progress callbacks and
+    // publishes each result slot.
+    std::mutex progress_mutex;
+    size_t completed = 0;
+
+    runTasks(batch.size(), [&](size_t i) {
+        const ExperimentJob &job = batch[i];
+        core::RunResult result = simulate(job.workload, job.params,
+                                          job.options, job.oracle);
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        results[i] = std::move(result);
+        ++completed;
+        if (progress)
+            progress({completed, batch.size(), job, results[i]});
+    });
     return results;
 }
 

@@ -91,6 +91,18 @@ class ExperimentRunner
     run(const std::vector<ExperimentJob> &batch,
         const ProgressFn &progress = {}) const;
 
+    /**
+     * Generic fan-out: invoke @p task(0) .. @p task(count-1) on the
+     * worker pool, each index exactly once. Tasks must be mutually
+     * independent (no shared mutable state without their own
+     * synchronization). With jobs()==1 or count<=1 the tasks run
+     * inline, in index order, with no pool. Used by run() and by
+     * non-simulation batch work such as the register-file fuzz driver
+     * (one seed stream per task).
+     */
+    void runTasks(size_t count,
+                  const std::function<void(size_t)> &task) const;
+
   private:
     unsigned jobs_;
 };

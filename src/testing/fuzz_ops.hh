@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fuzz operation vocabulary and seed-file format for the register-file
+ * model-checking harness.
+ *
+ * A FuzzCase is a register-file configuration plus a flat op sequence;
+ * it is the unit of generation, execution, shrinking, and replay. The
+ * textual seed-file format is deliberately line-based and stable so a
+ * counterexample found by a nightly fuzz run can be attached to a bug
+ * report and re-executed bit-identically by `carf_fuzz_replay`.
+ */
+
+#ifndef CARF_TESTING_FUZZ_OPS_HH
+#define CARF_TESTING_FUZZ_OPS_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "regfile/content_aware.hh"
+
+namespace carf::testing
+{
+
+/** One step of the register-file interface driven by the fuzzer. */
+enum class FuzzOpKind : u8
+{
+    /** write(tag, value) at writeback. */
+    Write,
+    /** writeForced(tag, value): §3.2 pseudo-deadlock recovery. */
+    WriteForced,
+    /** read(tag), checked bit-exact against the shadow oracle. */
+    Read,
+    /** release(tag) at commit. */
+    Release,
+    /** noteAddress(value): LD/ST effective-address Short allocation. */
+    NoteAddress,
+    /** onRobInterval(): Tcur/Told epoch tick. */
+    RobInterval,
+    /** reset() of both implementation and oracle. */
+    Reset,
+    /**
+     * Fault injection: leak one Short-file reference on slot
+     * (value mod M), bypassing the oracle. Only emitted by tests that
+     * prove the harness catches refcount corruption; never generated.
+     */
+    InjectShortRefLeak,
+};
+
+const char *fuzzOpName(FuzzOpKind kind);
+
+/** A single operation; value doubles as address / injection slot. */
+struct FuzzOp
+{
+    FuzzOpKind kind = FuzzOpKind::RobInterval;
+    u32 tag = 0;
+    u64 value = 0;
+
+    bool operator==(const FuzzOp &) const = default;
+};
+
+/** Which register-file model a fuzz case drives. */
+enum class FuzzFileKind : u8
+{
+    Baseline,
+    ContentAware,
+};
+
+const char *fuzzFileKindName(FuzzFileKind kind);
+
+/** Register-file configuration of a fuzz case. */
+struct FuzzConfig
+{
+    FuzzFileKind fileKind = FuzzFileKind::ContentAware;
+    /** Physical tags. */
+    unsigned entries = 64;
+    regfile::ContentAwareParams ca;
+
+    /** Instantiate the configured register file. */
+    std::unique_ptr<regfile::RegisterFile>
+    makeFile(const std::string &name) const;
+
+    bool isContentAware() const
+    {
+        return fileKind == FuzzFileKind::ContentAware;
+    }
+};
+
+/** The four standard configurations the bounded fuzz tests cover. */
+std::vector<FuzzConfig> standardFuzzConfigs();
+
+/** A deterministic, replayable fuzz case. */
+struct FuzzCase
+{
+    FuzzConfig config;
+    std::vector<FuzzOp> ops;
+
+    /** Render as seed-file text (see parse for the grammar). */
+    std::string serialize() const;
+
+    /**
+     * Parse seed-file text; returns std::nullopt and fills @p error
+     * on malformed input. parse(serialize()) is the identity.
+     */
+    static std::optional<FuzzCase> parse(const std::string &text,
+                                         std::string *error);
+
+    /** Write the seed file; false (with @p error) on I/O failure. */
+    bool writeFile(const std::string &path, std::string *error) const;
+
+    /** Load a seed file written by writeFile. */
+    static std::optional<FuzzCase> loadFile(const std::string &path,
+                                            std::string *error);
+};
+
+} // namespace carf::testing
+
+#endif // CARF_TESTING_FUZZ_OPS_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Stateful register-file fuzzer with shadow-oracle checking and
+ * counterexample shrinking.
+ *
+ * The generator emits biased random op sequences (sign-extension
+ * edges, (64-d)-similar clusters, Short-index collisions, Long
+ * exhaustion phases); the harness drives implementation and
+ * ShadowRegFile through the sequence and cross-checks bit-exact reads
+ * plus structural invariants after every step. Any subsequence of a
+ * generated sequence is executable — the harness skips ops that are
+ * invalid in the current state (write of a live tag, read of a dead
+ * one) instead of faulting — which is what makes delta-debugging
+ * shrinks sound.
+ */
+
+#ifndef CARF_TESTING_FUZZER_HH
+#define CARF_TESTING_FUZZER_HH
+
+#include "common/random.hh"
+#include "testing/fuzz_ops.hh"
+#include "testing/shadow_regfile.hh"
+
+namespace carf::testing
+{
+
+/** A tripped check: which op exposed it and what diverged. */
+struct FuzzFailure
+{
+    /** Index into FuzzCase::ops of the op after which a check failed. */
+    size_t opIndex = 0;
+    FuzzOp op;
+    std::string message;
+};
+
+/**
+ * Executes one fuzz case step by step against a fresh implementation
+ * and shadow oracle.
+ */
+class FuzzHarness
+{
+  public:
+    explicit FuzzHarness(const FuzzConfig &config);
+
+    /**
+     * Apply @p op to implementation and oracle, then run every check.
+     * Returns the failure description, or an empty string while the
+     * models still agree. Ops invalid in the current state are skipped.
+     */
+    std::string step(const FuzzOp &op);
+
+    const regfile::RegisterFile &file() const { return *file_; }
+    const ShadowRegFile &shadow() const { return shadow_; }
+
+  private:
+    FuzzConfig config_;
+    std::unique_ptr<regfile::RegisterFile> file_;
+    regfile::ContentAwareRegFile *ca_; // null for the baseline
+    ShadowRegFile shadow_;
+};
+
+/** Run @p fuzz_case from scratch; nullopt when every check passes. */
+std::optional<FuzzFailure> runCase(const FuzzCase &fuzz_case);
+
+/** Knobs of the biased op generator. */
+struct FuzzGenOptions
+{
+    /** Ops to generate. */
+    size_t ops = 10000;
+    /** Base addresses forming (64-d)-similar clusters. */
+    unsigned clusterBases = 6;
+    /**
+     * Probability of entering a Long-exhaustion phase at any step
+     * (wide values, releases suppressed) — drives the free list to
+     * empty so stall/recovery edges are exercised.
+     */
+    double exhaustionChance = 0.002;
+};
+
+/**
+ * Generate a biased op sequence for @p config. Pure function of
+ * @p rng: the same generator state yields the same sequence.
+ */
+std::vector<FuzzOp> generateOps(const FuzzConfig &config, Rng &rng,
+                                const FuzzGenOptions &options);
+
+/**
+ * Shrink a failing case to a locally minimal one: ddmin-style chunk
+ * removal down to single ops, then a value-simplification pass, each
+ * candidate re-executed from scratch. The result still fails (possibly
+ * with a different message — any failure counts) and removing any
+ * single remaining op makes it pass.
+ */
+FuzzCase shrinkCase(const FuzzCase &failing);
+
+/** Outcome of one seeded fuzz round. */
+struct FuzzRoundResult
+{
+    /** Ops executed (pass) or index of the failing op. */
+    size_t opsRun = 0;
+    /** Set when a check tripped; `shrunk` then holds the minimal case. */
+    std::optional<FuzzFailure> failure;
+    FuzzCase shrunk;
+};
+
+/**
+ * One deterministic fuzz round: generate a sequence from @p seed, run
+ * it, and shrink the counterexample on failure.
+ */
+FuzzRoundResult fuzzOneSeed(const FuzzConfig &config, u64 seed,
+                            const FuzzGenOptions &options);
+
+} // namespace carf::testing
+
+#endif // CARF_TESTING_FUZZER_HH

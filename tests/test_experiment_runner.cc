@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -201,6 +202,26 @@ TEST(ExperimentRunner, PerJobOracleMergeMatchesSharedSerialOracle)
 TEST(ExperimentRunner, EmptyBatchYieldsEmptyResults)
 {
     EXPECT_TRUE(ExperimentRunner(4).run({}).empty());
+}
+
+TEST(ExperimentRunner, RunTasksVisitsEveryIndexExactlyOnce)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        ExperimentRunner runner(jobs);
+        constexpr size_t count = 200;
+        std::vector<std::atomic<int>> visits(count);
+        runner.runTasks(count,
+                        [&](size_t i) { visits[i].fetch_add(1); });
+        for (size_t i = 0; i < count; ++i)
+            EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ExperimentRunner, RunTasksZeroCountIsANoOp)
+{
+    bool ran = false;
+    ExperimentRunner(4).runTasks(0, [&](size_t) { ran = true; });
+    EXPECT_FALSE(ran);
 }
 
 TEST(ExperimentRunnerDeathTest, ZeroIpcReferenceIsFatal)

@@ -113,4 +113,41 @@ TEST(Rng, GeometricZeroProbabilityIsZero)
         EXPECT_EQ(rng.geometric(0.0, 10), 0u);
 }
 
+TEST(Rng, SplitIsDeterministicAndIndependent)
+{
+    Rng a(5), b(5);
+    Rng child_a = a.split();
+    Rng child_b = b.split();
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(child_a.next(), child_b.next());
+
+    // Successive splits from one parent are distinct streams, and
+    // none of them tracks the parent.
+    Rng parent(6);
+    Rng first = parent.split();
+    Rng second = parent.split();
+    int same_fs = 0, same_fp = 0;
+    for (int i = 0; i < 64; ++i) {
+        u64 f = first.next();
+        same_fs += f == second.next();
+        same_fp += f == parent.next();
+    }
+    EXPECT_LT(same_fs, 2);
+    EXPECT_LT(same_fp, 2);
+}
+
+TEST(Rng, MagnitudeBiasedCoversSmallAndHugeValues)
+{
+    Rng rng(37);
+    int small = 0, huge = 0;
+    for (int i = 0; i < 2000; ++i) {
+        u64 v = rng.nextMagnitudeBiased();
+        small += v < 1024 || v > static_cast<u64>(-1024);
+        huge += v > (u64{1} << 48) && v < static_cast<u64>(-(1ll << 48));
+    }
+    // Both tails of the width distribution must be well represented.
+    EXPECT_GT(small, 100);
+    EXPECT_GT(huge, 100);
+}
+
 } // namespace carf

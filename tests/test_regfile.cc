@@ -70,7 +70,48 @@ TEST(ContentAwareParamsDeathTest, PointerMustFitValueField)
     ContentAwareParams p;
     p.sim = {4, 1}; // d+n = 5
     p.longEntries = 112; // m = 7 > 5
+    p.issueStallThreshold = 0;
     EXPECT_DEATH(p.validate(), "does not fit");
+}
+
+// Misconfigured ablations must fail loudly, not skew results silently.
+
+TEST(ContentAwareParamsDeathTest, ZeroLongEntriesRejected)
+{
+    ContentAwareParams p = paperParams();
+    p.longEntries = 0;
+    p.issueStallThreshold = 0;
+    EXPECT_DEATH(p.validate(), "at least one Long entry");
+}
+
+TEST(ContentAwareParamsDeathTest, StallThresholdAtOrAboveKRejected)
+{
+    ContentAwareParams p = paperParams();
+    p.longEntries = 8;
+    p.issueStallThreshold = 8; // would stall issue forever
+    EXPECT_DEATH(p.validate(), "stall issue forever");
+}
+
+TEST(ContentAwareParamsDeathTest, DegenerateSimilaritySplitsRejected)
+{
+    ContentAwareParams p = paperParams();
+    p.sim = {0, 3}; // d = 0
+    EXPECT_DEATH(p.validate(), "bad d");
+    p.sim = {17, 0}; // n = 0
+    EXPECT_DEATH(p.validate(), "bad d");
+    p.sim = {60, 4}; // d + n = 64: no high bits left
+    EXPECT_DEATH(p.validate(), "bad d");
+    p.sim = {17, 9}; // 512-entry Short file
+    EXPECT_DEATH(p.validate(), "too large");
+}
+
+TEST(ContentAware, ValidParamsPassValidation)
+{
+    ContentAwareParams p = paperParams();
+    p.validate(); // must not exit
+    p.longEntries = 9;
+    p.issueStallThreshold = 8; // threshold == K-1 is the legal limit
+    p.validate();
 }
 
 TEST(ContentAware, SimpleValueRoundTrip)
@@ -112,6 +153,7 @@ TEST(ContentAware, LongExhaustionStallsWrite)
 {
     ContentAwareParams p = paperParams();
     p.longEntries = 2;
+    p.issueStallThreshold = 0;
     ContentAwareRegFile rf("t", 16, p);
     Rng rng(1);
     rf.write(0, rng.next() | (1ull << 63));
@@ -132,6 +174,7 @@ TEST(ContentAware, ForcedRecoveryOverflowsAndRetires)
 {
     ContentAwareParams p = paperParams();
     p.longEntries = 1;
+    p.issueStallThreshold = 0;
     ContentAwareRegFile rf("t", 16, p);
     rf.write(0, 0x1111111111111111ull);
     auto access = rf.writeForced(1, 0x2222222222222222ull);
@@ -174,6 +217,104 @@ TEST(ContentAware, ShortEntriesProtectedWhileReferenced)
     for (int i = 0; i < 3; ++i)
         rf.onRobInterval();
     EXPECT_EQ(rf.liveShortEntries(), 0u);
+}
+
+/**
+ * Regression: classifyPeek must be a pure observation. It used to
+ * pass a dummy mutable index into the classifying call; now it goes
+ * through the const classification overload, and no Short-file state
+ * (validity, refcounts, allocation count, or the Tcur epoch bit) may
+ * change.
+ */
+TEST(ContentAware, ClassifyPeekHasNoSideEffectsOnShortFile)
+{
+    ContentAwareRegFile rf("t", 16, paperParams());
+    u64 addr = 0x4013'8000;
+    rf.noteAddress(addr);
+    ASSERT_EQ(rf.liveShortEntries(), 1u);
+    u64 allocs_before = rf.shortFile().allocations();
+
+    // Peek every class: a resident short, a long, a simple.
+    EXPECT_EQ(rf.classifyPeek(addr + 4), ValueType::Short);
+    EXPECT_EQ(rf.classifyPeek(0xdeadbeef12345678ull), ValueType::Long);
+    EXPECT_EQ(rf.classifyPeek(17), ValueType::Simple);
+
+    EXPECT_EQ(rf.shortFile().allocations(), allocs_before);
+    EXPECT_EQ(rf.liveShortEntries(), 1u);
+    for (unsigned i = 0; i < rf.shortFile().entries(); ++i)
+        EXPECT_EQ(rf.shortFile().refCount(i), 0u);
+
+    // The entry is unreferenced and untouched; if the peek had set
+    // Tcur it would survive the first interval tick. Two ticks with
+    // no live references must reclaim it.
+    rf.onRobInterval();
+    rf.onRobInterval();
+    EXPECT_EQ(rf.liveShortEntries(), 0u);
+}
+
+/**
+ * §3.2 recovery path, directly: repeated writeForced under Long-file
+ * exhaustion must grow the emergency overflow pool, count a recovery
+ * each time, and leave freeLongEntries()/liveLongEntries() consistent
+ * once everything is released.
+ */
+TEST(ContentAware, RecoveryGrowsOverflowPoolAndStaysConsistent)
+{
+    ContentAwareParams p = paperParams();
+    p.longEntries = 2;
+    p.issueStallThreshold = 0;
+    ContentAwareRegFile rf("t", 16, p);
+
+    rf.write(0, 0x1111111111111111ull);
+    rf.write(1, 0x2222222222222222ull);
+    EXPECT_EQ(rf.freeLongEntries(), 0u);
+    EXPECT_EQ(rf.overflowLongEntries(), 0u);
+
+    // Forced writes past exhaustion: one overflow entry per recovery.
+    for (unsigned i = 0; i < 3; ++i) {
+        u64 value = 0x3333333333333300ull + i;
+        auto access = rf.writeForced(2 + i, value);
+        EXPECT_FALSE(access.stalled);
+        EXPECT_EQ(access.type, ValueType::Long);
+        EXPECT_EQ(rf.recoveries(), i + 1);
+        EXPECT_EQ(rf.overflowLongEntries(), i + 1);
+        EXPECT_EQ(rf.read(2 + i).value, value);
+        EXPECT_EQ(rf.checkInvariants(), "");
+    }
+    EXPECT_EQ(rf.liveLongEntries(), 5u);
+
+    // A forced write with a free entry available must NOT recover.
+    rf.release(0);
+    EXPECT_EQ(rf.freeLongEntries(), 1u);
+    auto access = rf.writeForced(9, 0x4444444444444444ull);
+    EXPECT_FALSE(access.stalled);
+    EXPECT_EQ(rf.recoveries(), 3u);
+    EXPECT_EQ(rf.overflowLongEntries(), 3u);
+
+    // Releasing everything retires the overflow entries permanently
+    // and returns exactly the K real entries to the free list.
+    for (u32 tag : {1u, 2u, 3u, 4u, 9u})
+        rf.release(tag);
+    EXPECT_EQ(rf.freeLongEntries(), 2u);
+    EXPECT_EQ(rf.liveLongEntries(), 0u);
+    EXPECT_EQ(rf.checkInvariants(), "");
+}
+
+/** The invariant checker itself must catch planted corruption. */
+TEST(ContentAware, CheckInvariantsCatchesRefcountCorruption)
+{
+    ContentAwareRegFile rf("t", 16, paperParams());
+    u64 addr = 0x4013'8000;
+    rf.noteAddress(addr);
+    rf.write(0, addr + 8);
+    ASSERT_EQ(rf.peekType(0), ValueType::Short);
+    ASSERT_EQ(rf.checkInvariants(), "");
+
+    // A leaked reference (e.g.\ a missed dropRef elsewhere) breaks
+    // the slot's books.
+    rf.debugShortFile().addRef(rf.peekSubIndex(0));
+    std::string err = rf.checkInvariants();
+    EXPECT_NE(err.find("refcount"), std::string::npos) << err;
 }
 
 TEST(ContentAware, WriteCountsByType)

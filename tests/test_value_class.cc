@@ -171,6 +171,47 @@ TEST(Classify, LongWhenNeitherSimpleNorResident)
               ValueType::Long);
 }
 
+/** The const overload agrees with the indexed one on every class. */
+TEST(Classify, ConstOverloadMatchesIndexedClassification)
+{
+    SimilarityParams sim{17, 3};
+    ShortFile file(sim);
+    file.tryAllocate(0x4000'0000);
+    Rng rng(11);
+    for (int i = 0; i < 2000; ++i) {
+        u64 v = rng.next() >> rng.nextBounded(64);
+        if (rng.chance(0.3))
+            v = 0x4000'0000 + rng.nextBounded(1 << 17);
+        unsigned idx = 0;
+        EXPECT_EQ(classifyValue(v, sim, file),
+                  classifyValue(v, sim, file, idx));
+    }
+}
+
+/** ShortFile self-check: clean on normal flows, loud on corruption. */
+TEST(ShortFile, CheckInvariantsDetectsLeakedRefs)
+{
+    SimilarityParams sim{17, 3};
+    ShortFile file(sim);
+    EXPECT_EQ(file.checkInvariants(), "");
+    u64 addr = 0x4000'0000;
+    ASSERT_TRUE(file.tryAllocate(addr));
+    unsigned idx = 0;
+    ASSERT_TRUE(file.lookup(addr, idx));
+    file.addRef(idx);
+    EXPECT_EQ(file.checkInvariants(), "");
+    file.dropRef(idx);
+    file.robIntervalTick();
+    file.robIntervalTick();
+    ASSERT_FALSE(file.valid(idx));
+    EXPECT_EQ(file.checkInvariants(), "");
+
+    // A ref added to a reclaimed slot is stale bookkeeping.
+    file.addRef(idx);
+    EXPECT_NE(file.checkInvariants().find("invalid slot"),
+              std::string::npos);
+}
+
 /** Property sweep over the paper's d+n range. */
 class ClassifyProperty : public ::testing::TestWithParam<unsigned>
 {

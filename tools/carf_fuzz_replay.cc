@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic re-execution of a fuzz counterexample seed file.
+ *
+ * Usage: carf_fuzz_replay [--shrink] <seed-file>
+ *
+ * Loads a seed file written by the fuzz harness (bench/fuzz_regfile or
+ * the gtest cases), replays the op sequence against a fresh register
+ * file + shadow oracle, and reports the verdict. Exit status: 0 when
+ * every check passes, 1 when the counterexample still reproduces,
+ * 2 on malformed input. With --shrink, a reproducing case is first
+ * reduced further and the minimal form is printed.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "testing/fuzzer.hh"
+
+using namespace carf;
+
+int
+main(int argc, char **argv)
+{
+    bool shrink = false;
+    const char *path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--shrink") == 0)
+            shrink = true;
+        else
+            path = argv[i];
+    }
+    if (!path) {
+        std::fprintf(stderr,
+                     "usage: carf_fuzz_replay [--shrink] <seed-file>\n");
+        return 2;
+    }
+
+    std::string error;
+    auto fuzz_case = testing::FuzzCase::loadFile(path, &error);
+    if (!fuzz_case) {
+        std::fprintf(stderr, "carf_fuzz_replay: %s\n", error.c_str());
+        return 2;
+    }
+
+    std::printf("replaying %s: %s file, %u entries, %zu ops\n", path,
+                fuzzFileKindName(fuzz_case->config.fileKind),
+                fuzz_case->config.entries, fuzz_case->ops.size());
+
+    auto failure = testing::runCase(*fuzz_case);
+    if (!failure) {
+        std::printf("PASS: all checks hold\n");
+        return 0;
+    }
+
+    std::printf("FAIL at op %zu (%s tag=%u value=0x%llx): %s\n",
+                failure->opIndex, fuzzOpName(failure->op.kind),
+                failure->op.tag,
+                (unsigned long long)failure->op.value,
+                failure->message.c_str());
+
+    if (shrink) {
+        testing::FuzzCase minimal = testing::shrinkCase(*fuzz_case);
+        std::printf("shrunk to %zu ops:\n%s", minimal.ops.size(),
+                    minimal.serialize().c_str());
+    }
+    return 1;
+}
