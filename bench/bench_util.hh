@@ -10,6 +10,9 @@
  *   progress=1 log per-job completion lines to stderr
  *   out=PATH   where to write the JSON report
  *              (default BENCH_<name>.json in the working directory)
+ *   trace_cache=0     disable the shared trace cache (default on;
+ *                     results are bit-identical either way)
+ *   trace_cache_mb=N  cache byte budget in MiB (default 512)
  *
  * Tables printed through printTable() and suite runs executed through
  * BenchArgs::runSuite() are also captured into a machine-readable
@@ -26,9 +29,12 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "common/config.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "emu/trace_cache.hh"
 #include "sim/experiment_runner.hh"
 #include "sim/experiments.hh"
 #include "sim/reporting.hh"
@@ -114,6 +120,12 @@ struct BenchArgs
     bool progress = false;
     unsigned jobs = 1;
     sim::ExperimentRunner runner;
+    /**
+     * Trace cache shared by every suite run this harness performs, so
+     * each workload is emulated once no matter how many configurations
+     * sweep over it. Owned here; options.traceCache points at it.
+     */
+    std::shared_ptr<emu::TraceCache> traceCache;
     mutable BenchReport report;
 
     static BenchArgs
@@ -127,6 +139,15 @@ struct BenchArgs
         args.jobs = static_cast<unsigned>(args.config.getU64(
             "jobs", sim::ExperimentRunner::hardwareJobs()));
         args.runner = sim::ExperimentRunner(args.jobs ? args.jobs : 1);
+        if (args.config.getBool("trace_cache", true)) {
+            u64 budget_mb =
+                args.config.getU64("trace_cache_mb",
+                                   emu::TraceCache::kDefaultByteBudget >>
+                                       20);
+            args.traceCache =
+                std::make_shared<emu::TraceCache>(budget_mb << 20);
+            args.options.traceCache = args.traceCache.get();
+        }
         args.report.begin(bench_name, args.runner.jobs(),
                           args.options.maxInsts);
         return args;

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the trace subsystem: trace
+ * build (emulate + encode) cost, zero-copy cursor replay vs streaming
+ * emulation throughput, and the headline experiment-engine number — a
+ * 4-configuration sweep over the full workload suite with and without
+ * the shared TraceCache. The sweep pair is the before/after evidence
+ * for the cache: "Streaming" pays one emulation per (config, workload)
+ * job, "Cached" pays one per workload.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "emu/trace_buffer.hh"
+#include "emu/trace_cache.hh"
+#include "sim/experiment_runner.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+using namespace carf;
+
+namespace
+{
+
+/** Instruction budget per workload for the sweep benchmarks. */
+constexpr u64 kSweepInsts = 200000;
+
+/** The sweep's configuration axis (baseline + three d+n points). */
+std::vector<core::CoreParams>
+sweepConfigs()
+{
+    return {
+        core::CoreParams::baseline(),
+        core::CoreParams::contentAware(16),
+        core::CoreParams::contentAware(20),
+        core::CoreParams::contentAware(24),
+    };
+}
+
+void
+BM_TraceBuild(benchmark::State &state)
+{
+    // Emulate + encode one workload into a TraceBuffer: the one-time
+    // cost a cache hit amortizes away.
+    const auto &w = workloads::findWorkload("hash_table");
+    u64 insts = static_cast<u64>(state.range(0));
+    for (auto _ : state) {
+        auto source = workloads::makeTrace(w, insts);
+        auto buffer = emu::TraceBuffer::build(*source, w.name, insts);
+        benchmark::DoNotOptimize(buffer->size());
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<i64>(buffer->size()));
+    }
+}
+BENCHMARK(BM_TraceBuild)->Arg(1 << 18)->Unit(benchmark::kMillisecond);
+
+void
+BM_StreamingEmulation(benchmark::State &state)
+{
+    // Baseline trace delivery rate: the functional emulator streaming
+    // DynOps record by record.
+    const auto &w = workloads::findWorkload("hash_table");
+    u64 insts = static_cast<u64>(state.range(0));
+    for (auto _ : state) {
+        auto source = workloads::makeTrace(w, insts);
+        emu::DynOp op;
+        u64 count = 0;
+        while (source->next(op))
+            ++count;
+        benchmark::DoNotOptimize(count);
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<i64>(count));
+    }
+}
+BENCHMARK(BM_StreamingEmulation)
+    ->Arg(1 << 18)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_CursorReplay(benchmark::State &state)
+{
+    // Zero-copy replay rate from an already-built buffer (the per-run
+    // trace cost after a cache hit). Compare against
+    // BM_StreamingEmulation at the same record count.
+    const auto &w = workloads::findWorkload("hash_table");
+    u64 insts = static_cast<u64>(state.range(0));
+    auto source = workloads::makeTrace(w, insts);
+    auto buffer = emu::TraceBuffer::build(*source, w.name, insts);
+    for (auto _ : state) {
+        emu::TraceBuffer::Cursor cursor(*buffer);
+        emu::DynOp op;
+        u64 count = 0;
+        while (cursor.next(op))
+            ++count;
+        benchmark::DoNotOptimize(count);
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<i64>(count));
+    }
+}
+BENCHMARK(BM_CursorReplay)->Arg(1 << 18)->Unit(benchmark::kMillisecond);
+
+/** One 4-config x full-suite sweep on @p jobs workers. */
+void
+runSweep(unsigned jobs, emu::TraceCache *cache, benchmark::State &state)
+{
+    sim::SimOptions options;
+    options.maxInsts = kSweepInsts;
+    options.traceCache = cache;
+
+    std::vector<sim::ExperimentJob> batch;
+    for (const auto &params : sweepConfigs()) {
+        for (const auto &w : workloads::allWorkloads())
+            batch.push_back({w, params, options, "sweep", nullptr});
+    }
+    auto results = sim::ExperimentRunner(jobs).run(batch);
+    u64 insts = 0;
+    for (const auto &r : results)
+        insts += r.committedInsts;
+    benchmark::DoNotOptimize(insts);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<i64>(insts));
+}
+
+void
+BM_SweepStreaming(benchmark::State &state)
+{
+    // The pre-cache experiment engine: every job re-emulates its
+    // workload inside the cycle loop.
+    for (auto _ : state)
+        runSweep(static_cast<unsigned>(state.range(0)), nullptr, state);
+}
+BENCHMARK(BM_SweepStreaming)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepCached(benchmark::State &state)
+{
+    // Same grid with a fresh shared cache per iteration: each
+    // workload is emulated once, then replayed zero-copy by the other
+    // configurations (results are bit-identical — see
+    // tests/test_trace_buffer.cc).
+    for (auto _ : state) {
+        emu::TraceCache cache;
+        runSweep(static_cast<unsigned>(state.range(0)), &cache, state);
+    }
+}
+BENCHMARK(BM_SweepCached)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+// Expanded BENCHMARK_MAIN() that defaults --benchmark_out to the
+// same per-harness JSON convention the other bench drivers use.
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args(argv, argv + argc);
+    std::string out_flag = "--benchmark_out=BENCH_micro_tracecache.json";
+    std::string format_flag = "--benchmark_out_format=json";
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0)
+            has_out = true;
+    }
+    if (!has_out) {
+        args.push_back(out_flag.data());
+        args.push_back(format_flag.data());
+    }
+    int args_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&args_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_argc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Fixed-capacity circular FIFO used on the simulator's hot data paths
+ * (fetch buffer, reorder buffer). Storage is allocated once at
+ * construction, so steady-state push/pop never touches the allocator —
+ * unlike std::deque, whose chunk management shows up in the cycle
+ * loop's profile.
+ *
+ * References to elements stay valid from push until the element is
+ * popped (slots are reused in place, never moved), which lets the
+ * pipeline keep raw pointers to in-flight instructions.
+ */
+
+#ifndef CARF_COMMON_RING_BUFFER_HH
+#define CARF_COMMON_RING_BUFFER_HH
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace carf
+{
+
+template <typename T>
+class RingBuffer
+{
+  public:
+    explicit RingBuffer(size_t capacity) : slots_(capacity)
+    {
+        assert(capacity > 0);
+    }
+
+    bool empty() const { return count_ == 0; }
+    bool full() const { return count_ >= slots_.size(); }
+    size_t size() const { return count_; }
+    size_t capacity() const { return slots_.size(); }
+
+    T &front()
+    {
+        assert(count_ > 0);
+        return slots_[head_];
+    }
+    const T &front() const
+    {
+        assert(count_ > 0);
+        return slots_[head_];
+    }
+
+    /** Append a default-reset element and return it for filling in. */
+    T &
+    pushBack()
+    {
+        assert(!full());
+        T &slot = slots_[wrap(head_ + count_)];
+        slot = T{};
+        ++count_;
+        return slot;
+    }
+
+    void
+    pushBack(const T &value)
+    {
+        assert(!full());
+        slots_[wrap(head_ + count_)] = value;
+        ++count_;
+    }
+
+    void
+    popFront()
+    {
+        assert(count_ > 0);
+        head_ = wrap(head_ + 1);
+        --count_;
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
+    /** Oldest-to-newest forward iteration (FIFO order). */
+    template <typename Ring, typename Value>
+    class Iter
+    {
+      public:
+        Iter(Ring *ring, size_t index) : ring_(ring), index_(index) {}
+
+        Value &operator*() const
+        {
+            return ring_->slots_[ring_->wrap(ring_->head_ + index_)];
+        }
+        Value *operator->() const { return &**this; }
+        Iter &
+        operator++()
+        {
+            ++index_;
+            return *this;
+        }
+        bool operator==(const Iter &o) const { return index_ == o.index_; }
+        bool operator!=(const Iter &o) const { return index_ != o.index_; }
+
+      private:
+        Ring *ring_;
+        size_t index_;
+    };
+
+    using iterator = Iter<RingBuffer, T>;
+    using const_iterator = Iter<const RingBuffer, const T>;
+
+    iterator begin() { return {this, 0}; }
+    iterator end() { return {this, count_}; }
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, count_}; }
+
+  private:
+    size_t
+    wrap(size_t index) const
+    {
+        // Capacity is a runtime parameter (ROB sizes are swept by the
+        // ablation harnesses), so no power-of-two masking.
+        return index < slots_.size() ? index : index - slots_.size();
+    }
+
+    std::vector<T> slots_;
+    size_t head_ = 0;
+    size_t count_ = 0;
+};
+
+} // namespace carf
+
+#endif // CARF_COMMON_RING_BUFFER_HH

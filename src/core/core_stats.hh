@@ -118,11 +118,22 @@ struct RunResult
     double avgLiveShort = 0.0;
 
     /**
-     * Host wall-clock seconds this run took (trace construction,
-     * warm-up, and timed simulation). The only nondeterministic
-     * field: equivalence checks must ignore it.
+     * Host wall-clock seconds this run took end to end. Always equals
+     * traceBuildSeconds + simSeconds. Like the other host-time fields
+     * below it is nondeterministic: equivalence checks must ignore all
+     * three.
      */
     double wallSeconds = 0.0;
+    /**
+     * Host seconds spent obtaining the dynamic trace before the
+     * pipeline ran. With a TraceCache this is the emulation cost on a
+     * miss and ~0 on a hit; without one, trace construction streams
+     * lazily inside the cycle loop, so this stays 0 and the emulator's
+     * cost lands in simSeconds (the pre-split behavior).
+     */
+    double traceBuildSeconds = 0.0;
+    /** Host seconds spent in pipeline warm-up plus the timed run. */
+    double simSeconds = 0.0;
 
     double branchMispredictRate() const
     {

@@ -21,18 +21,4 @@ IssueQueue::remove()
     --occupancy_;
 }
 
-bool
-usesFpQueue(isa::Opcode op)
-{
-    switch (isa::opInfo(op).opClass) {
-      case isa::OpClass::FpAlu:
-      case isa::OpClass::FpMul:
-      case isa::OpClass::FpDiv:
-      case isa::OpClass::FpCvt:
-        return true;
-      default:
-        return false;
-    }
-}
-
 } // namespace carf::core

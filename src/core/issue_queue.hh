@@ -35,9 +35,22 @@ class IssueQueue
 /**
  * Scheduler class of an opcode: FP arithmetic goes to the FP queue,
  * everything else (including FP loads/stores, whose address
- * generation is integer work) to the integer queue.
+ * generation is integer work) to the integer queue. Inline: called
+ * per dispatched instruction per issue-scan cycle.
  */
-bool usesFpQueue(isa::Opcode op);
+inline bool
+usesFpQueue(isa::Opcode op)
+{
+    switch (isa::opInfo(op).opClass) {
+      case isa::OpClass::FpAlu:
+      case isa::OpClass::FpMul:
+      case isa::OpClass::FpDiv:
+      case isa::OpClass::FpCvt:
+        return true;
+      default:
+        return false;
+    }
+}
 
 } // namespace carf::core
 

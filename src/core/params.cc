@@ -45,8 +45,7 @@ CoreParams::contentAware(unsigned d_plus_n, unsigned n,
     p.regReadStages = 2;
     p.intWbStages = 2;
     p.extraBypassLevel = true;
-    p.ca.sim.d = d_plus_n - n;
-    p.ca.sim.n = n;
+    p.ca.sim = regfile::SimilarityParams(d_plus_n - n, n);
     p.ca.longEntries = long_entries;
     p.ca.issueStallThreshold = p.issueWidth;
     return p;

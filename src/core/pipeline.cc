@@ -1,5 +1,6 @@
 #include "core/pipeline.hh"
 
+#include <algorithm>
 #include <array>
 #include <optional>
 
@@ -39,8 +40,11 @@ Pipeline::Pipeline(const CoreParams &params)
       gshare_(params.gshareHistoryBits),
       btb_(params.btbEntries),
       ras_(params.rasDepth),
-      memory_(params.memory)
+      memory_(params.memory),
+      fetchBuffer_(fetchBufferCap)
 {
+    dispatched_.reserve(params.robSize);
+    pendingWb_.reserve(params.robSize);
     // An instruction may need one register file read per source
     // operand in a single cycle; fewer than two ports per file would
     // deadlock two-source consumers of non-bypassable operands.
@@ -88,18 +92,6 @@ u64
 Pipeline::archFpReg(unsigned idx) const
 {
     return fpRf_->peekValue(fpMap_.lookup(idx));
-}
-
-Pipeline::TagInfo &
-Pipeline::tagInfo(u32 tag, bool is_fp)
-{
-    return is_fp ? fpTags_.at(tag) : intTags_.at(tag);
-}
-
-const Pipeline::TagInfo &
-Pipeline::tagInfo(u32 tag, bool is_fp) const
-{
-    return is_fp ? fpTags_.at(tag) : intTags_.at(tag);
 }
 
 void
@@ -210,57 +202,70 @@ Pipeline::doCommit(Cycle cur)
     }
 }
 
+bool
+Pipeline::tryWriteback(InFlightInst &inst, Cycle cur,
+                       unsigned &int_ports, unsigned &fp_ports)
+{
+    if (inst.completeCycle > cur)
+        return false;
+
+    if (!inst.hasDest()) {
+        inst.state = InstState::WrittenBack;
+        inst.wbCycle = cur;
+        return true;
+    }
+
+    if (inst.destIsFp) {
+        if (fp_ports == 0)
+            return false;
+        fpRf_->write(inst.destTag, inst.op.rdValue);
+        --fp_ports;
+        TagInfo &ti = tagInfo(inst.destTag, true);
+        ti.state = TagInfo::State::Done;
+        ti.rfReadableCycle = cur + 1;
+        inst.state = InstState::WrittenBack;
+        inst.wbCycle = cur;
+        return true;
+    }
+
+    if (int_ports == 0)
+        return false;
+    regfile::WriteAccess access =
+        intRf_->write(inst.destTag, inst.op.rdValue);
+    if (access.stalled) {
+        // Long file exhausted. If this is the ROB head nothing
+        // can free an entry: pseudo-deadlock recovery (§3.2).
+        if (&inst == &rob_.head()) {
+            access = caRf_->writeForced(inst.destTag, inst.op.rdValue);
+        } else {
+            inst.wbStalledOnLong = true;
+            return false; // port not consumed; retry next cycle
+        }
+    }
+    --int_ports;
+    TagInfo &ti = tagInfo(inst.destTag, false);
+    ti.state = TagInfo::State::Done;
+    ti.rfReadableCycle = cur + params_.intWbStages;
+    inst.state = InstState::WrittenBack;
+    inst.wbCycle = cur;
+    return true;
+}
+
 void
 Pipeline::doWriteback(Cycle cur)
 {
     unsigned int_ports = params_.intRfWritePorts;
     unsigned fp_ports = params_.fpRfWritePorts;
 
-    for (InFlightInst &inst : rob_) {
-        if (inst.state != InstState::Issued || inst.completeCycle > cur)
-            continue;
-
-        if (!inst.hasDest()) {
-            inst.state = InstState::WrittenBack;
-            inst.wbCycle = cur;
-            continue;
-        }
-
-        if (inst.destIsFp) {
-            if (fp_ports == 0)
-                continue;
-            fpRf_->write(inst.destTag, inst.op.rdValue);
-            --fp_ports;
-            TagInfo &ti = tagInfo(inst.destTag, true);
-            ti.state = TagInfo::State::Done;
-            ti.rfReadableCycle = cur + 1;
-            inst.state = InstState::WrittenBack;
-            inst.wbCycle = cur;
-            continue;
-        }
-
-        if (int_ports == 0)
-            continue;
-        regfile::WriteAccess access =
-            intRf_->write(inst.destTag, inst.op.rdValue);
-        if (access.stalled) {
-            // Long file exhausted. If this is the ROB head nothing
-            // can free an entry: pseudo-deadlock recovery (§3.2).
-            if (&inst == &rob_.head()) {
-                access = caRf_->writeForced(inst.destTag,
-                                            inst.op.rdValue);
-            } else {
-                inst.wbStalledOnLong = true;
-                continue; // port not consumed; retry next cycle
-            }
-        }
-        --int_ports;
-        TagInfo &ti = tagInfo(inst.destTag, false);
-        ti.state = TagInfo::State::Done;
-        ti.rfReadableCycle = cur + params_.intWbStages;
-        inst.state = InstState::WrittenBack;
-        inst.wbCycle = cur;
+    // pendingWb_ is the Issued subset of the ROB in age order, so
+    // this visits exactly the instructions the full-ROB scan did, in
+    // the same order, and makes identical port-arbitration decisions.
+    size_t keep = 0;
+    for (size_t i = 0; i < pendingWb_.size(); ++i) {
+        if (!tryWriteback(*pendingWb_[i], cur, int_ports, fp_ports))
+            pendingWb_[keep++] = pendingWb_[i];
     }
+    pendingWb_.resize(keep);
 }
 
 void
@@ -278,11 +283,16 @@ Pipeline::doIssue(Cycle cur)
 
     Cycle exec = cur + params_.regReadStages;
 
-    for (InFlightInst &inst : rob_) {
-        if (budget == 0)
-            break;
-        if (inst.state != InstState::Dispatched)
-            continue;
+    // dispatched_ is the Dispatched subset of the ROB in age order:
+    // same candidates, same order, same arbitration decisions as the
+    // full-ROB scan, without touching issued/completed entries.
+    size_t scan = 0;
+    size_t keep = 0;
+    for (; scan < dispatched_.size() && budget > 0; ++scan) {
+        InFlightInst &inst = *dispatched_[scan];
+        // Assume the instruction stays dispatched; the issue path at
+        // the bottom un-keeps it.
+        dispatched_[keep++] = &inst;
         if (inst.renameCycle >= cur)
             continue; // renamed this very cycle
 
@@ -368,6 +378,7 @@ Pipeline::doIssue(Cycle cur)
         }
 
         // --- commit to issuing this instruction ---
+        --keep; // leaves the dispatched list
         --budget;
         if (fpq)
             --fp_fu;
@@ -382,6 +393,17 @@ Pipeline::doIssue(Cycle cur)
         inst.issueCycle = cur;
         inst.completeCycle = exec + latency;
         (fpq ? fpIq_ : intIq_).remove();
+
+        // Issue order across cycles is not age order, so keep the
+        // writeback list sorted by seq (= age) as entries arrive.
+        pendingWb_.insert(
+            std::upper_bound(pendingWb_.begin(), pendingWb_.end(),
+                             &inst,
+                             [](const InFlightInst *a,
+                                const InFlightInst *b) {
+                                 return a->op.seq < b->op.seq;
+                             }),
+            &inst);
 
         if (inst.hasDest()) {
             TagInfo &ti = tagInfo(inst.destTag, inst.destIsFp);
@@ -462,6 +484,11 @@ Pipeline::doIssue(Cycle cur)
         }
     }
 
+    // Budget exhausted: keep the unexamined tail.
+    for (; scan < dispatched_.size(); ++scan)
+        dispatched_[keep++] = dispatched_[scan];
+    dispatched_.resize(keep);
+
     if (long_stall_seen)
         ++result_.issueStallCycles;
 }
@@ -494,6 +521,7 @@ Pipeline::doRename(Cycle cur)
             break;
 
         InFlightInst &inst = rob_.push(op);
+        dispatched_.push_back(&inst);
         inst.fetchCycle = fetched.fetchCycle;
         inst.renameCycle = cur;
         inst.mispredicted = fetched.mispredicted;
@@ -533,7 +561,7 @@ Pipeline::doRename(Cycle cur)
         else if (op.isStore())
             lsq_.dispatchStore(op.seq, op.effAddr, info.memBytes);
 
-        fetchBuffer_.pop_front();
+        fetchBuffer_.popFront();
         --budget;
     }
 }
@@ -548,7 +576,7 @@ Pipeline::doFetch(Cycle cur, emu::TraceSource &source)
     unsigned budget = params_.fetchWidth;
     unsigned line_shift = 6; // 64B fetch lines
 
-    while (budget > 0 && fetchBuffer_.size() < fetchBufferCap) {
+    while (budget > 0 && !fetchBuffer_.full()) {
         DynOp op;
         if (pendingFetchValid_) {
             op = pendingFetch_;
@@ -577,7 +605,7 @@ Pipeline::doFetch(Cycle cur, emu::TraceSource &source)
         if (is_branch)
             correct = predictBranch(op);
 
-        fetchBuffer_.push_back({op, cur, !correct});
+        fetchBuffer_.pushBack(FetchedInst{op, cur, !correct});
         --budget;
 
         if (!correct) {

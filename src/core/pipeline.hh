@@ -25,8 +25,8 @@
 #ifndef CARF_CORE_PIPELINE_HH
 #define CARF_CORE_PIPELINE_HH
 
-#include <deque>
 #include <memory>
+#include <vector>
 
 #include "branch/btb.hh"
 #include "branch/gshare.hh"
@@ -133,9 +133,22 @@ class Pipeline
     void gatherSources(const InFlightInst &inst, SourceView &s1,
                        SourceView &s2) const;
 
-    /** Tag timing lookup by class. */
-    TagInfo &tagInfo(u32 tag, bool is_fp);
-    const TagInfo &tagInfo(u32 tag, bool is_fp) const;
+    /**
+     * Attempt the writeback of @p inst (state Issued, complete by
+     * @p cur); true when it reached WrittenBack this cycle.
+     */
+    bool tryWriteback(InFlightInst &inst, Cycle cur,
+                      unsigned &int_ports, unsigned &fp_ports);
+
+    /** Tag timing lookup by class (hot; called per operand check). */
+    TagInfo &tagInfo(u32 tag, bool is_fp)
+    {
+        return is_fp ? fpTags_[tag] : intTags_[tag];
+    }
+    const TagInfo &tagInfo(u32 tag, bool is_fp) const
+    {
+        return is_fp ? fpTags_[tag] : intTags_[tag];
+    }
 
     CoreParams params_;
 
@@ -153,13 +166,29 @@ class Pipeline
     IssueQueue fpIq_;
     Lsq lsq_;
 
+    /**
+     * Scan lists over the ROB window, so the per-cycle issue and
+     * writeback stages visit only live candidates instead of walking
+     * the whole ROB. Entries are raw pointers into the ROB ring (slots
+     * are stable between push and pop; there is no flush path — the
+     * front end never fetches wrong-path instructions).
+     *
+     * dispatched_ holds state==Dispatched instructions in program
+     * order (appended at rename, compacted at issue). pendingWb_ holds
+     * state==Issued instructions sorted by seq (binary-insert at
+     * issue, compacted at writeback), which is exactly the age order
+     * the full-ROB scan visited them in.
+     */
+    std::vector<InFlightInst *> dispatched_;
+    std::vector<InFlightInst *> pendingWb_;
+
     branch::Gshare gshare_;
     branch::Btb btb_;
     branch::Ras ras_;
 
     mem::Hierarchy memory_;
 
-    std::deque<FetchedInst> fetchBuffer_;
+    RingBuffer<FetchedInst> fetchBuffer_;
     bool traceExhausted_ = false;
     bool pendingRedirect_ = false;
     Cycle fetchResumeCycle_ = 0;

@@ -10,9 +10,9 @@ Rob::push(const emu::DynOp &op)
 {
     if (full())
         panic("Rob: push into full ROB");
-    entries_.emplace_back();
-    entries_.back().op = op;
-    return entries_.back();
+    InFlightInst &inst = entries_.pushBack();
+    inst.op = op;
+    return inst;
 }
 
 } // namespace carf::core

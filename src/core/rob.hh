@@ -6,8 +6,7 @@
 #ifndef CARF_CORE_ROB_HH
 #define CARF_CORE_ROB_HH
 
-#include <deque>
-
+#include "common/ring_buffer.hh"
 #include "common/types.hh"
 #include "emu/trace.hh"
 
@@ -56,21 +55,31 @@ struct InFlightInst
     bool writesIntDest() const { return hasDest() && !destIsFp; }
 };
 
-/** In-order window of in-flight instructions. */
+/**
+ * In-order window of in-flight instructions.
+ *
+ * Backed by a fixed ring: entries never move between push and pop, so
+ * pointers to in-flight instructions stay valid while the instruction
+ * is in the window (the pipeline's issue/writeback scan lists rely on
+ * this).
+ */
 class Rob
 {
   public:
-    explicit Rob(unsigned capacity) : capacity_(capacity) {}
+    explicit Rob(unsigned capacity) : entries_(capacity) {}
 
-    bool full() const { return entries_.size() >= capacity_; }
+    bool full() const { return entries_.full(); }
     bool empty() const { return entries_.empty(); }
     size_t size() const { return entries_.size(); }
-    unsigned capacity() const { return capacity_; }
+    unsigned capacity() const
+    {
+        return static_cast<unsigned>(entries_.capacity());
+    }
 
     InFlightInst &push(const emu::DynOp &op);
     InFlightInst &head() { return entries_.front(); }
     const InFlightInst &head() const { return entries_.front(); }
-    void popHead() { entries_.pop_front(); }
+    void popHead() { entries_.popFront(); }
 
     /** Age-ordered iteration. */
     auto begin() { return entries_.begin(); }
@@ -79,8 +88,7 @@ class Rob
     auto end() const { return entries_.end(); }
 
   private:
-    unsigned capacity_;
-    std::deque<InFlightInst> entries_;
+    RingBuffer<InFlightInst> entries_;
 };
 
 } // namespace carf::core

@@ -1,0 +1,174 @@
+#include "emu/trace_buffer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace carf::emu
+{
+
+TraceBuffer::TraceBuffer(std::string name, u64 requested_budget)
+    : name_(std::move(name)), requestedBudget_(requested_budget)
+{
+}
+
+std::unique_ptr<TraceBuffer>
+TraceBuffer::build(TraceSource &source, std::string name, u64 max_insts)
+{
+    auto buffer =
+        std::make_unique<TraceBuffer>(std::move(name), max_insts);
+    // Reserving up front roughly halves build time for multi-million
+    // record traces (no geometric-growth copies, and shrinkToFit
+    // becomes a no-op when the budget is reached exactly). The cap
+    // bounds the transient overcommit for huge budgets on short
+    // programs; past it, geometric growth takes over as usual.
+    buffer->reserve(std::min(max_insts, u64{1} << 22));
+    DynOp op;
+    for (u64 i = 0; i < max_insts && source.next(op); ++i)
+        buffer->append(op);
+    buffer->shrinkToFit();
+    return buffer;
+}
+
+void
+TraceBuffer::append(const DynOp &op)
+{
+    if (empty()) {
+        baseSeq_ = op.seq;
+    } else {
+        // The derived-field encoding requires a well-formed
+        // program-order stream: dense sequence numbers, and each
+        // record's pc equal to its predecessor's nextPc.
+        u64 expect_seq = baseSeq_ + size();
+        if (op.seq != expect_seq)
+            panic("TraceBuffer '%s': non-contiguous seq %llu "
+                  "(expected %llu)",
+                  name_.c_str(), (unsigned long long)op.seq,
+                  (unsigned long long)expect_seq);
+        if (op.pc != lastNextPc_)
+            panic("TraceBuffer '%s': record %llu pc %llu does not "
+                  "follow predecessor nextPc %llu",
+                  name_.c_str(), (unsigned long long)size(),
+                  (unsigned long long)op.pc,
+                  (unsigned long long)lastNextPc_);
+    }
+    if (op.pc > ~u32{0} || op.nextPc > ~u32{0})
+        panic("TraceBuffer '%s': pc %llx exceeds the 32-bit encoding",
+              name_.c_str(), (unsigned long long)op.pc);
+
+    u64 index = size();
+    pc_.push_back(static_cast<u32>(op.pc));
+    op_.push_back(static_cast<u8>(op.op));
+    rd_.push_back(op.rd);
+    rs1_.push_back(op.rs1);
+    rs2_.push_back(op.rs2);
+    if ((index & 63) == 0)
+        taken_.push_back(0);
+    if (op.taken)
+        taken_[index >> 6] |= u64{1} << (index & 63);
+    rs1Value_.push_back(op.rs1Value);
+    rs2Value_.push_back(op.rs2Value);
+    rdValue_.push_back(op.rdValue);
+    effAddr_.push_back(op.effAddr);
+    lastNextPc_ = op.nextPc;
+}
+
+void
+TraceBuffer::materialize(u64 index, DynOp &out) const
+{
+    out.seq = baseSeq_ + index;
+    out.pc = pc_[index];
+    out.op = static_cast<isa::Opcode>(op_[index]);
+    out.rd = rd_[index];
+    out.rs1 = rs1_[index];
+    out.rs2 = rs2_[index];
+    out.taken = (taken_[index >> 6] >> (index & 63)) & 1;
+    out.rs1Value = rs1Value_[index];
+    out.rs2Value = rs2Value_[index];
+    out.rdValue = rdValue_[index];
+    out.effAddr = effAddr_[index];
+    out.nextPc = index + 1 < size() ? pc_[index + 1] : lastNextPc_;
+}
+
+u64
+TraceBuffer::memoryBytes() const
+{
+    auto bytes = [](const auto &v) {
+        return v.capacity() * sizeof(v[0]);
+    };
+    return bytes(pc_) + bytes(op_) + bytes(rd_) + bytes(rs1_) +
+           bytes(rs2_) + bytes(taken_) + bytes(rs1Value_) +
+           bytes(rs2Value_) + bytes(rdValue_) + bytes(effAddr_) +
+           sizeof(*this) + name_.capacity();
+}
+
+TraceBuffer::FieldSizes
+TraceBuffer::fieldSizes() const
+{
+    auto bytes = [](const auto &v) {
+        return v.capacity() * sizeof(v[0]);
+    };
+    FieldSizes sizes;
+    sizes.pc = bytes(pc_);
+    sizes.decode = bytes(op_) + bytes(rd_) + bytes(rs1_) + bytes(rs2_);
+    sizes.flags = bytes(taken_);
+    sizes.values =
+        bytes(rs1Value_) + bytes(rs2Value_) + bytes(rdValue_);
+    sizes.effAddr = bytes(effAddr_);
+    return sizes;
+}
+
+void
+TraceBuffer::reserve(u64 records)
+{
+    pc_.reserve(records);
+    op_.reserve(records);
+    rd_.reserve(records);
+    rs1_.reserve(records);
+    rs2_.reserve(records);
+    taken_.reserve((records + 63) / 64);
+    rs1Value_.reserve(records);
+    rs2Value_.reserve(records);
+    rdValue_.reserve(records);
+    effAddr_.reserve(records);
+}
+
+void
+TraceBuffer::shrinkToFit()
+{
+    pc_.shrink_to_fit();
+    op_.shrink_to_fit();
+    rd_.shrink_to_fit();
+    rs1_.shrink_to_fit();
+    rs2_.shrink_to_fit();
+    taken_.shrink_to_fit();
+    rs1Value_.shrink_to_fit();
+    rs2Value_.shrink_to_fit();
+    rdValue_.shrink_to_fit();
+    effAddr_.shrink_to_fit();
+}
+
+TraceBuffer::Cursor::Cursor(const TraceBuffer &buffer, u64 max_insts)
+    : buffer_(&buffer), limit_(std::min(buffer.size(), max_insts))
+{
+}
+
+bool
+TraceBuffer::Cursor::next(DynOp &out)
+{
+    if (pos_ >= limit_)
+        return false;
+    buffer_->materialize(pos_, out);
+    ++pos_;
+    return true;
+}
+
+void
+TraceBuffer::Cursor::skip(u64 n)
+{
+    // pos_ <= limit_ holds, so the subtraction cannot underflow; the
+    // sum pos_ + n could wrap for huge n, hence this form.
+    pos_ = n >= limit_ - pos_ ? limit_ : pos_ + n;
+}
+
+} // namespace carf::emu

@@ -127,6 +127,13 @@ TraceWriter::record(TraceSource &source, const std::string &path)
     return writer.recordCount();
 }
 
+u64
+TraceWriter::record(const TraceBuffer &buffer, const std::string &path)
+{
+    TraceBuffer::Cursor cursor(buffer);
+    return record(cursor, path);
+}
+
 TraceReader::TraceReader(const std::string &path, std::string name,
                          u64 max_insts)
     : name_(name.empty() ? path : std::move(name)),
@@ -162,6 +169,16 @@ TraceReader::next(DynOp &out)
     out = unpack(r);
     ++read_;
     return true;
+}
+
+std::unique_ptr<TraceBuffer>
+readTraceBuffer(const std::string &path, std::string name, u64 max_insts)
+{
+    TraceReader reader(path, std::move(name), max_insts);
+    // build() appends record by record, so TraceBuffer::append's
+    // seq/nextPc chain checks validate the file against the
+    // derived-field encoding as it loads.
+    return TraceBuffer::build(reader, reader.name(), max_insts);
 }
 
 } // namespace carf::emu

@@ -12,9 +12,11 @@
 #define CARF_EMU_TRACE_FILE_HH
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "emu/trace.hh"
+#include "emu/trace_buffer.hh"
 
 namespace carf::emu
 {
@@ -38,6 +40,9 @@ class TraceWriter
 
     /** Drain an entire source into @p path; returns records written. */
     static u64 record(TraceSource &source, const std::string &path);
+
+    /** Write @p buffer's records to @p path; returns records written. */
+    static u64 record(const TraceBuffer &buffer, const std::string &path);
 
   private:
     std::string path_;
@@ -74,6 +79,21 @@ class TraceReader : public TraceSource
     u64 read_ = 0;
     u64 maxInsts_;
 };
+
+/**
+ * Load a trace file into an in-memory TraceBuffer. Round-trip
+ * guarantee: for any program-order stream S,
+ * readTraceBuffer(record(S)) replays records identical to S — the
+ * buffer's derived-field encoding (seq, nextPc) is validated against
+ * the file as it loads, so a malformed file fails loudly instead of
+ * replaying garbage.
+ *
+ * @param name workload name the buffer reports (defaults to the path)
+ * @param max_insts optional cap on loaded records
+ */
+std::unique_ptr<TraceBuffer>
+readTraceBuffer(const std::string &path, std::string name = "",
+                u64 max_insts = ~u64{0});
 
 } // namespace carf::emu
 

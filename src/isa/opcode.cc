@@ -5,10 +5,12 @@
 namespace carf::isa
 {
 
-namespace
+namespace detail
 {
 
-constexpr OpInfo kOpTable[] = {
+// Unsized here so a drift from the Opcode enum (which sizes the
+// header declaration) is a compile error, like the old static_assert.
+const OpInfo kOpTable[] = {
     // mnemonic  class            rd             rs1            rs2           imm    mem lat
     {"add",    OpClass::IntAlu, RegClass::Int, RegClass::Int, RegClass::Int, false, 0, 1},
     {"sub",    OpClass::IntAlu, RegClass::Int, RegClass::Int, RegClass::Int, false, 0, 1},
@@ -60,20 +62,13 @@ constexpr OpInfo kOpTable[] = {
     {"halt",   OpClass::Halt,   RegClass::None, RegClass::None, RegClass::None, false, 0, 1},
 };
 
-static_assert(sizeof(kOpTable) / sizeof(kOpTable[0]) ==
-              static_cast<size_t>(Opcode::NumOpcodes),
-              "opcode table out of sync with Opcode enum");
-
-} // namespace
-
-const OpInfo &
-opInfo(Opcode op)
+void
+badOpcode(size_t idx)
 {
-    auto idx = static_cast<size_t>(op);
-    if (idx >= static_cast<size_t>(Opcode::NumOpcodes))
-        panic("opInfo: bad opcode %zu", idx);
-    return kOpTable[idx];
+    panic("opInfo: bad opcode %zu", idx);
 }
+
+} // namespace detail
 
 std::string
 opcodeName(Opcode op)

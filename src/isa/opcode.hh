@@ -89,8 +89,30 @@ struct OpInfo
     u8 latency;
 };
 
-/** Metadata lookup; valid for every opcode below NumOpcodes. */
-const OpInfo &opInfo(Opcode op);
+namespace detail
+{
+
+/** Static metadata, indexed by opcode (defined in opcode.cc). */
+extern const OpInfo kOpTable[static_cast<size_t>(Opcode::NumOpcodes)];
+
+/** Cold path: diagnose an out-of-range opcode. Never returns. */
+[[noreturn]] void badOpcode(size_t idx);
+
+} // namespace detail
+
+/**
+ * Metadata lookup; valid for every opcode below NumOpcodes. Inline —
+ * the cycle loop calls this tens of millions of times per run — with
+ * the range check kept on a cold out-of-line path.
+ */
+inline const OpInfo &
+opInfo(Opcode op)
+{
+    auto idx = static_cast<size_t>(op);
+    if (idx >= static_cast<size_t>(Opcode::NumOpcodes))
+        detail::badOpcode(idx);
+    return detail::kOpTable[idx];
+}
 
 /** Mnemonic string for diagnostics. */
 std::string opcodeName(Opcode op);

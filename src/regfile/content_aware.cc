@@ -15,7 +15,7 @@ ContentAwareParams::longPointerBits() const
 unsigned
 ContentAwareParams::longEntryBits() const
 {
-    return 64 - sim.d - sim.n + longPointerBits();
+    return 64 - sim.d() - sim.n() + longPointerBits();
 }
 
 void

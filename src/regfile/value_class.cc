@@ -17,31 +17,13 @@ valueTypeName(ValueType type)
     return "?";
 }
 
-unsigned
-SimilarityParams::shortIndex(u64 value) const
-{
-    return static_cast<unsigned>(bits(value, d, n));
-}
-
-u64
-SimilarityParams::shortTag(u64 value) const
-{
-    return value >> (d + n);
-}
-
-bool
-SimilarityParams::isSimple(u64 value) const
-{
-    return fitsSigned(value, d + n);
-}
-
 void
 SimilarityParams::validate() const
 {
-    if (d < 1 || n < 1 || d + n >= 64)
-        fatal("SimilarityParams: bad d=%u n=%u", d, n);
-    if (n > 8)
-        fatal("SimilarityParams: short file too large (n=%u)", n);
+    if (d_ < 1 || n_ < 1 || d_ + n_ >= 64)
+        fatal("SimilarityParams: bad d=%u n=%u", d_, n_);
+    if (n_ > 8)
+        fatal("SimilarityParams: short file too large (n=%u)", n_);
 }
 
 ShortFile::ShortFile(const SimilarityParams &params, bool associative)
@@ -58,7 +40,7 @@ ShortFile::lookup(u64 value, unsigned &idx_out) const
     if (associative_) {
         // Full tag for associative search includes the index bits,
         // since any slot may hold any group.
-        u64 full = value >> params_.d;
+        u64 full = value >> params_.d();
         for (unsigned i = 0; i < slots_.size(); ++i) {
             if (slots_[i].valid && slots_[i].tag == full) {
                 idx_out = i;
@@ -83,7 +65,7 @@ ShortFile::tryAllocate(u64 value)
         return true;
 
     if (associative_) {
-        u64 full = value >> params_.d;
+        u64 full = value >> params_.d();
         for (unsigned i = 0; i < slots_.size(); ++i) {
             if (!slots_[i].valid) {
                 slots_[i] = Slot{};
@@ -152,7 +134,7 @@ ShortFile::robIntervalTick()
 std::string
 ShortFile::checkInvariants() const
 {
-    unsigned tag_bits = associative_ ? 64 - params_.d
+    unsigned tag_bits = associative_ ? 64 - params_.d()
                                      : params_.shortEntryBits();
     for (unsigned i = 0; i < slots_.size(); ++i) {
         const Slot &slot = slots_[i];
@@ -182,7 +164,7 @@ ShortFile::tag(unsigned idx) const
     const Slot &slot = slots_.at(idx);
     // Associative slots store the full (64-d)-bit group id; drop the
     // low n bits to get the canonical high field.
-    return associative_ ? slot.tag >> params_.n : slot.tag;
+    return associative_ ? slot.tag >> params_.n() : slot.tag;
 }
 
 unsigned

@@ -38,30 +38,74 @@ enum class ValueType : u8
 
 const char *valueTypeName(ValueType type);
 
-/** Similarity / geometry parameters of the content-aware file. */
-struct SimilarityParams
+/**
+ * Similarity / geometry parameters of the content-aware file.
+ *
+ * The classification masks are derived from (d, n) once at
+ * construction, which keeps the per-writeback classifyValue() path
+ * down to two branchless mask compares; d and n are read-only
+ * afterwards so the masks can never go stale.
+ */
+class SimilarityParams
 {
+  public:
+    /**
+     * @param d low bits in which (64-d)-similar values may differ
+     * @param n log2 of the Short file size; index bits
+     *
+     * Out-of-range combinations are tolerated here (the masks just
+     * degenerate) and rejected by validate(), so tests can construct
+     * nonsense parameters and assert that validate() is fatal.
+     */
+    SimilarityParams(unsigned d = 17, unsigned n = 3) : d_(d), n_(n)
+    {
+        unsigned w = d_ + n_;
+        if (w >= 1 && w <= 64)
+            signMask_ = ~u64{0} << (w - 1);
+        if (n_ < 64)
+            indexMask_ = (u64{1} << n_) - 1;
+    }
+
     /** Low bits in which (64-d)-similar values may differ. */
-    unsigned d = 17;
+    unsigned d() const { return d_; }
     /** log2 of the Short file size; index bits. */
-    unsigned n = 3;
+    unsigned n() const { return n_; }
 
     /** Width of the Simple value field. */
-    unsigned simpleFieldBits() const { return d + n; }
+    unsigned simpleFieldBits() const { return d_ + n_; }
     /** Width of a Short file entry. */
-    unsigned shortEntryBits() const { return 64 - d - n; }
+    unsigned shortEntryBits() const { return 64 - d_ - n_; }
     /** Number of Short file entries. */
-    unsigned shortEntries() const { return 1u << n; }
+    unsigned shortEntries() const { return 1u << n_; }
 
     /** Short-file index of @p value: bits [d, d+n). */
-    unsigned shortIndex(u64 value) const;
+    unsigned shortIndex(u64 value) const
+    {
+        return static_cast<unsigned>((value >> d_) & indexMask_);
+    }
     /** High-order field stored in a Short entry: bits [d+n, 64). */
-    u64 shortTag(u64 value) const;
-    /** True when @p value sign-extends from its low d+n bits. */
-    bool isSimple(u64 value) const;
+    u64 shortTag(u64 value) const { return value >> (d_ + n_); }
+    /**
+     * True when @p value sign-extends from its low d+n bits, i.e.
+     * bits [d+n-1, 64) are all zero or all one — tested as two
+     * compares against the precomputed sign mask.
+     */
+    bool isSimple(u64 value) const
+    {
+        u64 high = value & signMask_;
+        return high == 0 || high == signMask_;
+    }
 
     /** Validate ranges (d+n <= 32 or so); fatal() on nonsense. */
     void validate() const;
+
+  private:
+    unsigned d_;
+    unsigned n_;
+    /** Bits [d+n-1, 64); a value is simple iff these are 0 or all set. */
+    u64 signMask_ = 0;
+    /** Low n bits, right-justified, for shortIndex(). */
+    u64 indexMask_ = 0;
 };
 
 /**

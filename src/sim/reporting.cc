@@ -73,7 +73,12 @@ runResultJson(const core::RunResult &result)
                       (unsigned long long)result.recoveries);
     json += strprintf("\"avg_live_long\":%.3f,", result.avgLiveLong);
     json += strprintf("\"avg_live_short\":%.3f,", result.avgLiveShort);
-    json += strprintf("\"wall_seconds\":%.6f", result.wallSeconds);
+    // Host-time fields are nondeterministic; they sit together at the
+    // tail so determinism checks can strip them in one cut.
+    json += strprintf("\"wall_seconds\":%.6f,", result.wallSeconds);
+    json += strprintf("\"trace_build_seconds\":%.6f,",
+                      result.traceBuildSeconds);
+    json += strprintf("\"sim_seconds\":%.6f", result.simSeconds);
     json += "}";
     return json;
 }

@@ -5,6 +5,19 @@
 namespace carf::sim
 {
 
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+} // namespace
+
 core::RunResult
 simulate(const workloads::Workload &workload,
          const core::CoreParams &params, const SimOptions &options,
@@ -15,17 +28,39 @@ simulate(const workloads::Workload &workload,
     core::CoreParams run_params = params;
     run_params.oracleSamplePeriod = options.oracleSamplePeriod;
 
-    auto trace = workloads::makeTrace(
-        workload, options.fastForward + options.maxInsts);
-    core::Pipeline pipeline(run_params);
-    if (options.fastForward > 0)
-        pipeline.warmUp(*trace, options.fastForward);
-    core::RunResult result = pipeline.run(*trace, oracle);
+    u64 total_insts = options.fastForward + options.maxInsts;
 
-    result.wallSeconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
+    // Obtain the dynamic trace. With a cache, the (possibly shared)
+    // buffer is materialized up front and replayed zero-copy; without
+    // one, the emulator streams lazily inside the cycle loop exactly
+    // as before.
+    std::shared_ptr<const emu::TraceBuffer> buffer;
+    if (options.traceCache) {
+        buffer = options.traceCache->acquire(
+            workload.name, total_insts, [&workload, total_insts] {
+                return workloads::makeTrace(workload, total_insts);
+            });
+    }
+    double trace_build_seconds = buffer ? secondsSince(start) : 0.0;
+
+    auto sim_start = std::chrono::steady_clock::now();
+    core::Pipeline pipeline(run_params);
+    core::RunResult result;
+    if (buffer) {
+        emu::TraceBuffer::Cursor cursor(*buffer, total_insts);
+        if (options.fastForward > 0)
+            pipeline.warmUp(cursor, options.fastForward);
+        result = pipeline.run(cursor, oracle);
+    } else {
+        auto trace = workloads::makeTrace(workload, total_insts);
+        if (options.fastForward > 0)
+            pipeline.warmUp(*trace, options.fastForward);
+        result = pipeline.run(*trace, oracle);
+    }
+
+    result.traceBuildSeconds = trace_build_seconds;
+    result.simSeconds = secondsSince(sim_start);
+    result.wallSeconds = result.traceBuildSeconds + result.simSeconds;
     return result;
 }
 

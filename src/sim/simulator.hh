@@ -8,6 +8,7 @@
 #define CARF_SIM_SIMULATOR_HH
 
 #include "core/pipeline.hh"
+#include "emu/trace_cache.hh"
 #include "sim/oracle.hh"
 #include "workloads/workload.hh"
 
@@ -27,6 +28,14 @@ struct SimOptions
      * timed window — the SimPoint-style skip the paper used.
      */
     u64 fastForward = 0;
+    /**
+     * Optional shared trace cache. When set, the workload's dynamic
+     * trace is built (or fetched) through the cache and replayed
+     * zero-copy; statistics are bit-identical to streaming emulation.
+     * When the trace cannot fit the cache's byte budget the run falls
+     * back to streaming transparently (the cache logs the fallback).
+     */
+    emu::TraceCache *traceCache = nullptr;
 };
 
 /**

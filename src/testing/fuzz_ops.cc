@@ -120,8 +120,8 @@ FuzzCase::serialize() const
     std::string out = "carf-fuzz-seed v1\n";
     out += strprintf("kind %s\n", fuzzFileKindName(config.fileKind));
     out += strprintf("entries %u\n", config.entries);
-    out += strprintf("d %u\n", config.ca.sim.d);
-    out += strprintf("n %u\n", config.ca.sim.n);
+    out += strprintf("d %u\n", config.ca.sim.d());
+    out += strprintf("n %u\n", config.ca.sim.n());
     out += strprintf("long %u\n", config.ca.longEntries);
     out += strprintf("stall %u\n", config.ca.issueStallThreshold);
     out += strprintf("assoc %u\n", config.ca.associativeShort ? 1 : 0);
@@ -189,9 +189,15 @@ FuzzCase::parse(const std::string &text, std::string *error)
         } else if (key == "entries") {
             fields >> fuzz_case.config.entries;
         } else if (key == "d") {
-            fields >> fuzz_case.config.ca.sim.d;
+            unsigned d = 0;
+            fields >> d;
+            fuzz_case.config.ca.sim = regfile::SimilarityParams(
+                d, fuzz_case.config.ca.sim.n());
         } else if (key == "n") {
-            fields >> fuzz_case.config.ca.sim.n;
+            unsigned n = 0;
+            fields >> n;
+            fuzz_case.config.ca.sim = regfile::SimilarityParams(
+                fuzz_case.config.ca.sim.d(), n);
         } else if (key == "long") {
             fields >> fuzz_case.config.ca.longEntries;
         } else if (key == "stall") {

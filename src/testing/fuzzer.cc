@@ -142,7 +142,7 @@ generateOps(const FuzzConfig &config, Rng &rng,
             return static_cast<u64>(rng.nextRange(-4096, 4096));
           case 2: // cluster member: short candidate
             return bases[rng.nextBounded(bases.size())] +
-                   rng.nextBounded(u64{1} << sim.d);
+                   rng.nextBounded(u64{1} << sim.d());
           case 3: // wide: long with near certainty
             return rng.next() | (u64{1} << 63);
           default:
@@ -209,7 +209,7 @@ generateOps(const FuzzConfig &config, Rng &rng,
             op.kind = FuzzOpKind::NoteAddress;
             op.value = rng.chance(0.7)
                 ? bases[rng.nextBounded(bases.size())] +
-                      rng.nextBounded(u64{1} << sim.d)
+                      rng.nextBounded(u64{1} << sim.d())
                 : pick_value();
             break;
           case 4:

@@ -33,8 +33,9 @@ quick(u64 insts = 15000)
 }
 
 /**
- * Field-by-field equality of two RunResults, excluding wallSeconds
- * (host timing, the one intentionally nondeterministic field).
+ * Field-by-field equality of two RunResults, excluding the host-time
+ * fields (wallSeconds/traceBuildSeconds/simSeconds — the intentionally
+ * nondeterministic ones).
  */
 void
 expectIdentical(const core::RunResult &a, const core::RunResult &b)
@@ -66,7 +67,11 @@ expectIdentical(const core::RunResult &a, const core::RunResult &b)
     EXPECT_EQ(a.avgLiveShort, b.avgLiveShort);
 }
 
-/** runResultJson with the wall_seconds field stripped. */
+/**
+ * runResultJson with the host-time fields stripped. They are grouped
+ * at the tail of the object (wall_seconds, trace_build_seconds,
+ * sim_seconds), so one cut removes all of them.
+ */
 std::string
 jsonWithoutWallTime(const core::RunResult &result)
 {

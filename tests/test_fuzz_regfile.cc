@@ -105,8 +105,8 @@ TEST(FuzzCase, SeedFileRoundTrip)
     ASSERT_TRUE(parsed.has_value()) << error;
     EXPECT_EQ(parsed->config.fileKind, original.config.fileKind);
     EXPECT_EQ(parsed->config.entries, original.config.entries);
-    EXPECT_EQ(parsed->config.ca.sim.d, original.config.ca.sim.d);
-    EXPECT_EQ(parsed->config.ca.sim.n, original.config.ca.sim.n);
+    EXPECT_EQ(parsed->config.ca.sim.d(), original.config.ca.sim.d());
+    EXPECT_EQ(parsed->config.ca.sim.n(), original.config.ca.sim.n());
     EXPECT_EQ(parsed->config.ca.longEntries,
               original.config.ca.longEntries);
     EXPECT_EQ(parsed->config.ca.issueStallThreshold,

@@ -247,13 +247,14 @@ TEST_P(ClassifyProperty, ShortValuesShareHighBitsWithGroup)
     }
     for (u64 base : bases) {
         for (int i = 0; i < 100; ++i) {
-            u64 v = (similarityTag(base, sim.d) << sim.d) |
-                    rng.nextBounded(1ull << sim.d);
+            u64 v = (similarityTag(base, sim.d()) << sim.d()) |
+                    rng.nextBounded(1ull << sim.d());
             unsigned idx = 0;
             ValueType type = classifyValue(v, sim, file, idx);
             // Must be short (same 64-d high bits) unless simple.
-            if (!sim.isSimple(v))
+            if (!sim.isSimple(v)) {
                 EXPECT_EQ(type, ValueType::Short);
+            }
         }
     }
 }
@@ -261,5 +262,71 @@ TEST_P(ClassifyProperty, ShortValuesShareHighBitsWithGroup)
 INSTANTIATE_TEST_SUITE_P(DnSweep, ClassifyProperty,
                          ::testing::Values(8u, 12u, 16u, 20u, 24u, 28u,
                                            32u));
+
+/**
+ * Regression for the precomputed classification masks: every mask
+ * fast path (isSimple/shortIndex/shortTag) must agree with straight
+ * bit arithmetic over the fuzzer's magnitude-biased generator, which
+ * concentrates draws on the power-of-two and sign-extension
+ * boundaries where an off-by-one in the mask derivation would hide.
+ */
+TEST(SimilarityParams, MaskPathsMatchBitArithmeticOnBiasedValues)
+{
+    for (unsigned n : {1u, 2u, 3u, 4u, 6u}) {
+        for (unsigned dn : {8u, 12u, 16u, 20u, 24u, 28u, 32u}) {
+            if (dn <= n)
+                continue;
+            unsigned d = dn - n;
+            SimilarityParams sim(d, n);
+            Rng rng(dn * 131 + n);
+            for (int i = 0; i < 4000; ++i) {
+                u64 v = rng.nextMagnitudeBiased();
+                EXPECT_EQ(sim.isSimple(v), fitsSigned(v, dn))
+                    << "d=" << d << " n=" << n << " v=" << v;
+                EXPECT_EQ(sim.shortIndex(v),
+                          static_cast<unsigned>(
+                              (v >> d) & ((u64{1} << n) - 1)))
+                    << "d=" << d << " n=" << n << " v=" << v;
+                EXPECT_EQ(sim.shortTag(v), v >> dn)
+                    << "d=" << d << " n=" << n << " v=" << v;
+            }
+        }
+    }
+}
+
+/**
+ * Full classifyValue over biased values against an independent
+ * bit-arithmetic reference (direct-mapped residency check spelled
+ * out with shifts, no SimilarityParams helpers involved).
+ */
+TEST(Classify, MaskedClassificationMatchesBitArithmeticReference)
+{
+    SimilarityParams sim{17, 3};
+    ShortFile file(sim);
+    Rng rng(42);
+    // Populate a few resident groups with non-simple bases.
+    for (int i = 0; i < 6; ++i)
+        file.tryAllocate(rng.next() | (1ull << 62));
+
+    for (int i = 0; i < 8000; ++i) {
+        u64 v = rng.nextMagnitudeBiased();
+        unsigned idx = 0;
+        ValueType type = classifyValue(v, sim, file, idx);
+
+        ValueType expect;
+        unsigned idx_ref = static_cast<unsigned>((v >> 17) & 0x7);
+        if (fitsSigned(v, 20))
+            expect = ValueType::Simple;
+        else if (file.valid(idx_ref) && file.tag(idx_ref) == v >> 20)
+            expect = ValueType::Short;
+        else
+            expect = ValueType::Long;
+
+        EXPECT_EQ(type, expect) << v;
+        if (type == ValueType::Short) {
+            EXPECT_EQ(idx, idx_ref) << v;
+        }
+    }
+}
 
 } // namespace carf::regfile
