@@ -7,6 +7,10 @@
  * control complexity. This harness quantifies both directions:
  * IPC and register file energy for the baseline and the content-aware
  * file across read/write port counts.
+ *
+ * All seven configurations run as one grouped batch: each workload's
+ * trace is decoded once and stepped through every configuration in
+ * lockstep.
  */
 
 #include "bench_util.hh"
@@ -23,10 +27,32 @@ main(int argc, char **argv)
         "port reduction is orthogonal; extra savings on the CA file "
         "are relatively low");
 
+    struct PortPoint
+    {
+        unsigned rd, wr;
+    };
+    const PortPoint points[] = {{8, 6}, {6, 4}, {4, 3}};
+
+    std::vector<std::pair<std::string, core::CoreParams>> configs = {
+        {"unlimited INT", core::CoreParams::unlimited()},
+    };
+    for (const PortPoint &p : points) {
+        auto base = core::CoreParams::baseline();
+        base.intRfReadPorts = p.rd;
+        base.intRfWritePorts = p.wr;
+        configs.push_back(
+            {strprintf("baseline %uR/%uW", p.rd, p.wr), base});
+
+        auto ca = core::CoreParams::contentAware(20);
+        ca.intRfReadPorts = p.rd;
+        ca.intRfWritePorts = p.wr;
+        configs.push_back({strprintf("CA %uR/%uW", p.rd, p.wr), ca});
+    }
+
+    auto runs = args.runSuites(workloads::intSuite(), configs);
+    const auto &unlimited_run = runs[0];
+
     energy::RixnerModel model;
-    auto unlimited_run = args.runSuite(workloads::intSuite(),
-                                       core::CoreParams::unlimited(),
-                                       "unlimited INT");
     double unlimited_energy = energy::conventionalEnergy(
         model, energy::unlimitedGeometry(),
         unlimited_run.totalAccesses());
@@ -36,20 +62,13 @@ main(int argc, char **argv)
     table.setColumns({"organization", "ports", "rel IPC",
                       "rel energy"});
 
-    struct PortPoint
-    {
-        unsigned rd, wr;
-    };
-    const PortPoint points[] = {{8, 6}, {6, 4}, {4, 3}};
+    for (size_t i = 0; i < std::size(points); ++i) {
+        const PortPoint &p = points[i];
+        const auto &base_run = runs[1 + 2 * i];
+        const auto &ca_run = runs[2 + 2 * i];
+        const core::CoreParams &base = configs[1 + 2 * i].second;
+        const core::CoreParams &ca = configs[2 + 2 * i].second;
 
-    for (const PortPoint &p : points) {
-        // Baseline file with reduced ports.
-        auto base = core::CoreParams::baseline();
-        base.intRfReadPorts = p.rd;
-        base.intRfWritePorts = p.wr;
-        auto base_run =
-            args.runSuite(workloads::intSuite(), base,
-                          strprintf("baseline %uR/%uW", p.rd, p.wr));
         energy::RegFileGeometry geom{base.physIntRegs, 64, p.rd, p.wr};
         double base_energy = energy::conventionalEnergy(
             model, geom, base_run.totalAccesses());
@@ -59,13 +78,6 @@ main(int argc, char **argv)
                                  2),
                       Table::pct(base_energy / unlimited_energy)});
 
-        // Content-aware file with the same reduced ports.
-        auto ca = core::CoreParams::contentAware(20);
-        ca.intRfReadPorts = p.rd;
-        ca.intRfWritePorts = p.wr;
-        auto ca_run =
-            args.runSuite(workloads::intSuite(), ca,
-                          strprintf("CA %uR/%uW", p.rd, p.wr));
         auto ca_geom = energy::caGeometry(ca.physIntRegs, ca.ca, p.rd,
                                           p.wr);
         double ca_energy = energy::contentAwareEnergy(

@@ -9,37 +9,15 @@
  *  - direct-mapped vs fully-associative Short file,
  *  - issue-stall threshold (pseudo-deadlock avoidance) and the extra
  *    bypass level.
+ *
+ * All variants run as one grouped batch per suite: each workload's
+ * trace is decoded once and stepped through every variant in
+ * lockstep.
  */
 
 #include "bench_util.hh"
 
 using namespace carf;
-
-namespace
-{
-
-void
-reportRow(Table &table, const std::string &label,
-          const core::CoreParams &params, const sim::SuiteRun &base_int,
-          const sim::SuiteRun &base_fp, const bench::BenchArgs &args)
-{
-    auto run_int =
-        args.runSuite(workloads::intSuite(), params, label + " INT");
-    auto run_fp =
-        args.runSuite(workloads::fpSuite(), params, label + " FP");
-    table.addRow({label,
-                  Table::pct(sim::meanRelativeIpc(run_int, base_int), 2),
-                  Table::pct(sim::meanRelativeIpc(run_fp, base_fp), 2),
-                  Table::intNum(static_cast<long long>(
-                      run_int.totalLongAllocStalls() +
-                      run_fp.totalLongAllocStalls())),
-                  Table::intNum(static_cast<long long>(
-                      run_int.totalRecoveries() +
-                      run_fp.totalRecoveries())),
-                  Table::num(run_int.meanAvgLiveLong(), 1)});
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -50,62 +28,81 @@ main(int argc, char **argv)
         "paper picks M=8, K=48; address-only Short allocation; "
         "direct-mapped Short; threshold = issue width");
 
-    auto base_int = args.runSuite(workloads::intSuite(),
-                                  core::CoreParams::baseline(),
-                                  "baseline INT");
-    auto base_fp = args.runSuite(workloads::fpSuite(),
-                                 core::CoreParams::baseline(),
-                                 "baseline FP");
-
-    Table table("relative IPC vs baseline, long-file pressure");
-    table.setColumns({"variant", "INT", "FP", "long stalls",
-                      "recoveries", "avg live long"});
+    std::vector<std::pair<std::string, core::CoreParams>> variants;
 
     // Short file size sweep (n = log2 M). d is adjusted to keep
     // d+n=20 so the Simple field width is constant.
     for (unsigned n : {1u, 3u, 5u}) {
-        auto params = core::CoreParams::contentAware(20, n);
-        reportRow(table, strprintf("short M=%u", 1u << n), params,
-                  base_int, base_fp, args);
+        variants.push_back({strprintf("short M=%u", 1u << n),
+                            core::CoreParams::contentAware(20, n)});
     }
 
     // Long file size sweep.
     for (unsigned k : {40u, 48u, 56u, 112u}) {
-        auto params = core::CoreParams::contentAware(20, 3, k);
-        reportRow(table, strprintf("long K=%u", k), params, base_int,
-                  base_fp, args);
+        variants.push_back({strprintf("long K=%u", k),
+                            core::CoreParams::contentAware(20, 3, k)});
     }
 
     // Allocation policy: any-result thrashes the Short file.
     {
         auto params = core::CoreParams::contentAware(20);
         params.ca.allocShortOnAnyResult = true;
-        reportRow(table, "alloc-on-any-result", params, base_int,
-                  base_fp, args);
+        variants.push_back({"alloc-on-any-result", params});
     }
 
     // Fully-associative Short file (paper: tiny IPC gain, CAM cost).
     {
         auto params = core::CoreParams::contentAware(20);
         params.ca.associativeShort = true;
-        reportRow(table, "associative short", params, base_int, base_fp,
-                  args);
+        variants.push_back({"associative short", params});
     }
 
     // Issue-stall threshold off: recoveries must absorb the pressure.
     {
         auto params = core::CoreParams::contentAware(20);
         params.ca.issueStallThreshold = 0;
-        reportRow(table, "stall threshold=0", params, base_int, base_fp,
-                  args);
+        variants.push_back({"stall threshold=0", params});
     }
 
     // Extra bypass level off (paper: optional, small effect).
     {
         auto params = core::CoreParams::contentAware(20);
         params.extraBypassLevel = false;
-        reportRow(table, "no extra bypass", params, base_int, base_fp,
-                  args);
+        variants.push_back({"no extra bypass", params});
+    }
+
+    std::vector<std::pair<std::string, core::CoreParams>> int_configs = {
+        {"baseline INT", core::CoreParams::baseline()},
+    };
+    std::vector<std::pair<std::string, core::CoreParams>> fp_configs = {
+        {"baseline FP", core::CoreParams::baseline()},
+    };
+    for (const auto &[label, params] : variants) {
+        int_configs.push_back({label + " INT", params});
+        fp_configs.push_back({label + " FP", params});
+    }
+
+    auto int_runs = args.runSuites(workloads::intSuite(), int_configs);
+    auto fp_runs = args.runSuites(workloads::fpSuite(), fp_configs);
+    const auto &base_int = int_runs[0];
+    const auto &base_fp = fp_runs[0];
+
+    Table table("relative IPC vs baseline, long-file pressure");
+    table.setColumns({"variant", "INT", "FP", "long stalls",
+                      "recoveries", "avg live long"});
+    for (size_t i = 0; i < variants.size(); ++i) {
+        const auto &run_int = int_runs[1 + i];
+        const auto &run_fp = fp_runs[1 + i];
+        table.addRow(
+            {variants[i].first,
+             Table::pct(sim::meanRelativeIpc(run_int, base_int), 2),
+             Table::pct(sim::meanRelativeIpc(run_fp, base_fp), 2),
+             Table::intNum(static_cast<long long>(
+                 run_int.totalLongAllocStalls() +
+                 run_fp.totalLongAllocStalls())),
+             Table::intNum(static_cast<long long>(
+                 run_int.totalRecoveries() + run_fp.totalRecoveries())),
+             Table::num(run_int.meanAvgLiveLong(), 1)});
     }
 
     bench::printTable(table, args);

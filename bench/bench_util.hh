@@ -13,6 +13,11 @@
  *   trace_cache=0     disable the shared trace cache (default on;
  *                     results are bit-identical either way)
  *   trace_cache_mb=N  cache byte budget in MiB (default 512)
+ *   lockstep=0        disable config-parallel lockstep replay
+ *                     (default on; results are bit-identical either
+ *                     way — lockstep=0 is for A/B wall-time runs)
+ *   lockstep_group=N  cap lockstep groups at N pipeline lanes
+ *                     (default 0 = unbounded)
  *
  * Tables printed through printTable() and suite runs executed through
  * BenchArgs::runSuite() are also captured into a machine-readable
@@ -148,6 +153,9 @@ struct BenchArgs
                 std::make_shared<emu::TraceCache>(budget_mb << 20);
             args.options.traceCache = args.traceCache.get();
         }
+        args.options.lockstep = args.config.getBool("lockstep", true);
+        args.options.lockstepMaxGroup = static_cast<unsigned>(
+            args.config.getU64("lockstep_group", 0));
         args.report.begin(bench_name, args.runner.jobs(),
                           args.options.maxInsts);
         return args;
@@ -177,6 +185,48 @@ struct BenchArgs
         auto run = sim::runSuite(suite, params, options, runner, fn);
         report.addSuite(label, run);
         return run;
+    }
+
+    /**
+     * Run @p suite under every labelled configuration in @p configs
+     * as ONE job batch, so configurations sharing a workload collapse
+     * into lockstep groups (decode once, step every config — see
+     * ExperimentRunner::run). Per-config SuiteRuns come back in
+     * @p configs order, each bit-identical to a lone runSuite() call,
+     * and are recorded into the JSON report under their labels.
+     */
+    std::vector<sim::SuiteRun>
+    runSuites(const std::vector<workloads::Workload> &suite,
+              const std::vector<std::pair<std::string, core::CoreParams>>
+                  &configs) const
+    {
+        std::vector<sim::ExperimentJob> batch;
+        batch.reserve(suite.size() * configs.size());
+        for (const auto &[label, params] : configs)
+            for (const auto &w : suite)
+                batch.push_back({w, params, options, label, nullptr});
+
+        sim::ExperimentRunner::ProgressFn fn;
+        if (progress) {
+            fn = [](const sim::ExperimentProgress &p) {
+                inform("[%s] %zu/%zu %s (%.2fs)", p.job.tag.c_str(),
+                       p.completed, p.total,
+                       p.job.workload.name.c_str(),
+                       p.result.wallSeconds);
+            };
+        }
+        auto results = runner.run(batch, fn);
+
+        std::vector<sim::SuiteRun> runs(configs.size());
+        for (size_t c = 0; c < configs.size(); ++c) {
+            auto first = results.begin() +
+                         static_cast<long>(c * suite.size());
+            runs[c].results.assign(first,
+                                   first + static_cast<long>(
+                                               suite.size()));
+            report.addSuite(configs[c].first, runs[c]);
+        }
+        return runs;
     }
 
     /** Where the JSON report goes (out= override). */

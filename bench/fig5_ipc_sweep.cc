@@ -7,6 +7,10 @@
  * The paper reports the baseline at ~99% of unlimited, and the
  * content-aware organization climbing toward the baseline as d+n
  * grows: ~98.3% INT / ~99.7% FP at d+n=20.
+ *
+ * All configurations of a suite go in as one grouped batch, so each
+ * workload's trace is decoded once and replayed through every
+ * configuration in lockstep (lockstep=0 reverts to per-job runs).
  */
 
 #include "bench_util.hh"
@@ -22,35 +26,39 @@ main(int argc, char **argv)
         "INT reaches ~98.3% and FP ~99.7% of unlimited at d+n=20; "
         "baseline ~99%");
 
-    const auto &ints = workloads::intSuite();
-    const auto &fps = workloads::fpSuite();
+    std::vector<std::pair<std::string, core::CoreParams>> int_configs = {
+        {"unlimited INT", core::CoreParams::unlimited()},
+        {"baseline INT", core::CoreParams::baseline()},
+    };
+    std::vector<std::pair<std::string, core::CoreParams>> fp_configs = {
+        {"unlimited FP", core::CoreParams::unlimited()},
+        {"baseline FP", core::CoreParams::baseline()},
+    };
+    for (unsigned dn : bench::kDnSweep) {
+        auto params = core::CoreParams::contentAware(dn);
+        auto label = strprintf("d+n=%u", dn);
+        int_configs.push_back({"CA INT " + label, params});
+        fp_configs.push_back({"CA FP " + label, params});
+    }
 
-    auto unlimited_int =
-        args.runSuite(ints, core::CoreParams::unlimited(), "unlimited INT");
-    auto unlimited_fp =
-        args.runSuite(fps, core::CoreParams::unlimited(), "unlimited FP");
-    auto baseline_int =
-        args.runSuite(ints, core::CoreParams::baseline(), "baseline INT");
-    auto baseline_fp =
-        args.runSuite(fps, core::CoreParams::baseline(), "baseline FP");
+    auto int_runs = args.runSuites(workloads::intSuite(), int_configs);
+    auto fp_runs = args.runSuites(workloads::fpSuite(), fp_configs);
+    const auto &unlimited_int = int_runs[0];
+    const auto &unlimited_fp = fp_runs[0];
 
     Table table("Fig 5: relative IPC (100% = unlimited)");
     table.setColumns({"config", "INT", "FP"});
     table.addRow({"baseline",
-                  Table::pct(sim::meanRelativeIpc(baseline_int,
+                  Table::pct(sim::meanRelativeIpc(int_runs[1],
                                                   unlimited_int), 2),
-                  Table::pct(sim::meanRelativeIpc(baseline_fp,
+                  Table::pct(sim::meanRelativeIpc(fp_runs[1],
                                                   unlimited_fp), 2)});
 
-    for (unsigned dn : bench::kDnSweep) {
-        auto params = core::CoreParams::contentAware(dn);
-        auto label = strprintf("d+n=%u", dn);
-        auto ca_int = args.runSuite(ints, params, "CA INT " + label);
-        auto ca_fp = args.runSuite(fps, params, "CA FP " + label);
-        table.addRow({label,
-                      Table::pct(sim::meanRelativeIpc(ca_int,
+    for (size_t i = 0; i < bench::kDnSweep.size(); ++i) {
+        table.addRow({strprintf("d+n=%u", bench::kDnSweep[i]),
+                      Table::pct(sim::meanRelativeIpc(int_runs[2 + i],
                                                       unlimited_int), 2),
-                      Table::pct(sim::meanRelativeIpc(ca_fp,
+                      Table::pct(sim::meanRelativeIpc(fp_runs[2 + i],
                                                       unlimited_fp), 2)});
     }
     bench::printTable(table, args);

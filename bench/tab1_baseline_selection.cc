@@ -4,24 +4,15 @@
  * (112 registers, 8 read / 6 write ports) by showing each reduction
  * from the unlimited file (160 regs, 16R/8W) costs almost nothing:
  * 112 registers ~1% IPC, 8 read ports 0.17%, 6 write ports 0.21%.
+ *
+ * The eleven configurations run as one grouped batch: each workload's
+ * trace is decoded once and stepped through every configuration in
+ * lockstep.
  */
 
 #include "bench_util.hh"
 
 using namespace carf;
-
-namespace
-{
-
-double
-relIpc(const core::CoreParams &params, const sim::SuiteRun &reference,
-       const bench::BenchArgs &args, const std::string &label)
-{
-    auto run = args.runSuite(workloads::intSuite(), params, label);
-    return sim::meanRelativeIpc(run, reference);
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -33,21 +24,15 @@ main(int argc, char **argv)
         "112 regs cost ~1%; 8R costs 0.17%; 6W costs 0.21% vs "
         "unlimited");
 
-    auto unlimited = args.runSuite(workloads::intSuite(),
-                                   core::CoreParams::unlimited(),
-                                   "unlimited INT");
-
-    Table table("relative IPC vs unlimited (160 regs, 16R/8W)");
-    table.setColumns({"configuration", "relative IPC"});
+    std::vector<std::pair<std::string, core::CoreParams>> configs = {
+        {"unlimited INT", core::CoreParams::unlimited()},
+    };
 
     // Register count sweep at full ports.
     for (unsigned regs : {160u, 128u, 112u, 96u}) {
         auto params = core::CoreParams::unlimited();
         params.physIntRegs = regs;
-        auto label = strprintf("%u regs, 16R/8W", regs);
-        table.addRow({label,
-                      Table::pct(relIpc(params, unlimited, args, label),
-                                 2)});
+        configs.push_back({strprintf("%u regs, 16R/8W", regs), params});
     }
 
     // Read port sweep at 112 regs.
@@ -55,10 +40,7 @@ main(int argc, char **argv)
         auto params = core::CoreParams::unlimited();
         params.physIntRegs = 112;
         params.intRfReadPorts = rd;
-        auto label = strprintf("112 regs, %uR/8W", rd);
-        table.addRow({label,
-                      Table::pct(relIpc(params, unlimited, args, label),
-                                 2)});
+        configs.push_back({strprintf("112 regs, %uR/8W", rd), params});
     }
 
     // Write port sweep at 112 regs, 8 read ports.
@@ -67,9 +49,17 @@ main(int argc, char **argv)
         params.physIntRegs = 112;
         params.intRfReadPorts = 8;
         params.intRfWritePorts = wr;
-        auto label = strprintf("112 regs, 8R/%uW", wr);
-        table.addRow({label,
-                      Table::pct(relIpc(params, unlimited, args, label),
+        configs.push_back({strprintf("112 regs, 8R/%uW", wr), params});
+    }
+
+    auto runs = args.runSuites(workloads::intSuite(), configs);
+    const auto &unlimited = runs[0];
+
+    Table table("relative IPC vs unlimited (160 regs, 16R/8W)");
+    table.setColumns({"configuration", "relative IPC"});
+    for (size_t i = 1; i < configs.size(); ++i) {
+        table.addRow({configs[i].first,
+                      Table::pct(sim::meanRelativeIpc(runs[i], unlimited),
                                  2)});
     }
 

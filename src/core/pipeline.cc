@@ -25,6 +25,25 @@ constexpr size_t fetchBufferCap = 32;
 /** Cycles without a commit before the simulator declares a bug. */
 constexpr Cycle watchdogCycles = 200000;
 
+/**
+ * Minimum cycles of guaranteed stall before an instruction is parked
+ * out of the issue scan. Short waits are cheaper to re-scan than to
+ * round-trip through the heap; the payoff is cache-miss dependency
+ * chains parking for tens of cycles.
+ */
+constexpr Cycle parkThreshold = 8;
+
+/** Min-heap order for the parked-instruction heap (by wake cycle). */
+struct ParkOrder
+{
+    bool
+    operator()(const std::pair<Cycle, InFlightInst *> &a,
+               const std::pair<Cycle, InFlightInst *> &b) const
+    {
+        return a.first > b.first;
+    }
+};
+
 } // namespace
 
 Pipeline::Pipeline(const CoreParams &params)
@@ -37,14 +56,12 @@ Pipeline::Pipeline(const CoreParams &params)
       intIq_(params.intIqSize),
       fpIq_(params.fpIqSize),
       lsq_(params.lsqSize),
-      gshare_(params.gshareHistoryBits),
-      btb_(params.btbEntries),
-      ras_(params.rasDepth),
       memory_(params.memory),
       fetchBuffer_(fetchBufferCap)
 {
     dispatched_.reserve(params.robSize);
     pendingWb_.reserve(params.robSize);
+    parked_.reserve(params.robSize);
     // An instruction may need one register file read per source
     // operand in a single cycle; fewer than two ports per file would
     // deadlock two-source consumers of non-bypassable operands.
@@ -114,56 +131,16 @@ Pipeline::gatherSources(const InFlightInst &inst, SourceView &s1,
     }
 }
 
-bool
-Pipeline::predictBranch(const DynOp &op)
+FetchStream &
+Pipeline::serialStream(emu::TraceSource &source)
 {
-    u64 pc = op.pc;
-    bool correct = true;
-
-    if (isa::isConditionalBranch(op.op)) {
-        ++result_.condBranches;
-        bool pred = gshare_.predict(pc);
-        gshare_.update(pc, op.taken);
-        if (pred != op.taken) {
-            correct = false;
-        } else if (op.taken) {
-            u64 target;
-            bool hit = btb_.lookup(pc, target);
-            if (!hit || target != op.nextPc)
-                correct = false;
-        }
-        if (op.taken)
-            btb_.update(pc, op.nextPc);
-        if (!correct)
-            ++result_.branchMispredicts;
-        return correct;
+    if (!serialStream_) {
+        serialStream_ = std::make_unique<PredictingFetchStream>(
+            source, params_);
+    } else {
+        serialStream_->rebind(source);
     }
-
-    if (op.op == Opcode::JAL) {
-        if (op.rd != 0)
-            ras_.push(pc + 1);
-        u64 target;
-        bool hit = btb_.lookup(pc, target);
-        correct = hit && target == op.nextPc;
-        btb_.update(pc, op.nextPc);
-        return correct;
-    }
-
-    if (op.op == Opcode::JALR) {
-        u64 target = 0;
-        bool predicted = false;
-        if (op.rd == 0) {
-            // Return-like: prefer the RAS.
-            predicted = ras_.pop(target);
-        }
-        if (!predicted)
-            predicted = btb_.lookup(pc, target);
-        correct = predicted && target == op.nextPc;
-        btb_.update(pc, op.nextPc);
-        return correct;
-    }
-
-    return true;
+    return *serialStream_;
 }
 
 void
@@ -269,6 +246,18 @@ Pipeline::doWriteback(Cycle cur)
 }
 
 void
+Pipeline::unpark(InFlightInst *inst)
+{
+    dispatched_.insert(
+        std::upper_bound(dispatched_.begin(), dispatched_.end(), inst,
+                         [](const InFlightInst *a,
+                            const InFlightInst *b) {
+                             return a->op.seq < b->op.seq;
+                         }),
+        inst);
+}
+
+void
 Pipeline::doIssue(Cycle cur)
 {
     unsigned budget = params_.issueWidth;
@@ -280,6 +269,23 @@ Pipeline::doIssue(Cycle cur)
 
     bool stall_int_writers = intRf_->shouldStallIssue();
     bool long_stall_seen = false;
+
+    if (!parked_.empty()) {
+        if (stall_int_writers) {
+            // The Long issue-stall path inspects every dispatched
+            // instruction (long_stall_seen): restore the full scan.
+            for (auto &entry : parked_)
+                unpark(entry.second);
+            parked_.clear();
+        } else {
+            while (!parked_.empty() && parked_.front().first <= cur) {
+                unpark(parked_.front().second);
+                std::pop_heap(parked_.begin(), parked_.end(),
+                              ParkOrder{});
+                parked_.pop_back();
+            }
+        }
+    }
 
     Cycle exec = cur + params_.regReadStages;
 
@@ -321,16 +327,28 @@ Pipeline::doIssue(Cycle cur)
 
         OperandSource so1 = OperandSource::None;
         OperandSource so2 = OperandSource::None;
+        // First cycle the failed check below could pass again; cur+1
+        // when the producer's timing is not yet pinned down.
+        Cycle retry = 0;
         auto check_src = [&](const SourceView &s, OperandSource &out) {
             if (!s.used) {
                 out = OperandSource::None;
                 return true;
             }
             const TagInfo &ti = tagInfo(s.tag, s.isFp);
-            if (ti.state == TagInfo::State::Pending)
+            if (ti.state == TagInfo::State::Pending) {
+                // The producer has not issued; it cannot do so before
+                // its own parked bound, and the value stays
+                // unavailable until the check after it does.
+                retry = std::max(cur + 1, ti.earliestIssue);
                 return false;
-            if (exec < ti.completeCycle)
+            }
+            if (exec < ti.completeCycle) {
+                // completeCycle is fixed at issue: the check keeps
+                // failing until exec reaches it.
+                retry = ti.completeCycle - params_.regReadStages;
                 return false;
+            }
             unsigned window = s.isFp ? params_.fpBypassWindow()
                                      : params_.intBypassWindow();
             if (exec < ti.completeCycle + window) {
@@ -339,13 +357,35 @@ Pipeline::doIssue(Cycle cur)
             }
             if (ti.state != TagInfo::State::Done ||
                 exec - 1 < ti.rfReadableCycle) {
+                // Past the bypass window: only the file can supply
+                // the value, first readable at rfReadableCycle (known
+                // once written back, i.e. state Done).
+                retry = ti.state == TagInfo::State::Done
+                            ? ti.rfReadableCycle + 1 -
+                                  params_.regReadStages
+                            : cur + 1;
                 return false; // value in the writeback gap
             }
             out = OperandSource::RegFile;
             return true;
         };
-        if (!check_src(s1, so1) || !check_src(s2, so2))
+        if (!check_src(s1, so1) || !check_src(s2, so2)) {
+            if (!stall_int_writers && retry > cur + parkThreshold) {
+                // The check cannot pass before `retry`: park the
+                // instruction out of the scan until then, and let its
+                // consumers bound themselves against it. Skipped in
+                // stall cycles so long_stall_seen stays exact.
+                --keep;
+                parked_.emplace_back(retry, &inst);
+                std::push_heap(parked_.begin(), parked_.end(),
+                               ParkOrder{});
+                if (inst.hasDest()) {
+                    tagInfo(inst.destTag, inst.destIsFp)
+                        .earliestIssue = retry;
+                }
+            }
             continue;
+        }
 
         unsigned need_int_rd = 0, need_fp_rd = 0;
         auto count_port = [&](const SourceView &s, OperandSource so) {
@@ -548,11 +588,15 @@ Pipeline::doRename(Cycle cur)
         if (int_dest) {
             inst.destTag = intMap_.rename(op.rd, inst.oldDestTag);
             inst.destIsFp = false;
-            tagInfo(inst.destTag, false).state = TagInfo::State::Pending;
+            TagInfo &ti = tagInfo(inst.destTag, false);
+            ti.state = TagInfo::State::Pending;
+            ti.earliestIssue = cur + 1;
         } else if (fp_dest) {
             inst.destTag = fpMap_.rename(op.rd, inst.oldDestTag);
             inst.destIsFp = true;
-            tagInfo(inst.destTag, true).state = TagInfo::State::Pending;
+            TagInfo &ti = tagInfo(inst.destTag, true);
+            ti.state = TagInfo::State::Pending;
+            ti.earliestIssue = cur + 1;
         }
 
         iq.insert();
@@ -567,7 +611,7 @@ Pipeline::doRename(Cycle cur)
 }
 
 void
-Pipeline::doFetch(Cycle cur, emu::TraceSource &source)
+Pipeline::doFetch(Cycle cur, FetchStream &stream)
 {
     static_assert(instBytes > 0);
     if (traceExhausted_ || pendingRedirect_ || cur < fetchResumeCycle_)
@@ -576,15 +620,19 @@ Pipeline::doFetch(Cycle cur, emu::TraceSource &source)
     unsigned budget = params_.fetchWidth;
     unsigned line_shift = 6; // 64B fetch lines
 
+    // One call consumes at most fetchWidth stream records (each
+    // iteration pulls at most one, and at most fetchWidth iterations
+    // make progress); the lockstep chunk pause relies on this bound.
     while (budget > 0 && !fetchBuffer_.full()) {
-        DynOp op;
+        FetchEntry entry;
         if (pendingFetchValid_) {
-            op = pendingFetch_;
+            entry = pendingFetch_;
             pendingFetchValid_ = false;
-        } else if (!source.next(op)) {
+        } else if (!stream.next(entry)) {
             traceExhausted_ = true;
             return;
         }
+        const DynOp &op = entry.op;
 
         u64 line = (op.pc * instBytes) >> line_shift;
         if (line != lastFetchLine_) {
@@ -592,7 +640,7 @@ Pipeline::doFetch(Cycle cur, emu::TraceSource &source)
             lastFetchLine_ = line;
             if (lat > params_.memory.il1.hitLatency) {
                 // I-cache miss: stash the instruction and stall.
-                pendingFetch_ = op;
+                pendingFetch_ = entry;
                 pendingFetchValid_ = true;
                 lastFetchLine_ = ~u64{0}; // re-check after refill
                 fetchResumeCycle_ = cur + lat;
@@ -600,10 +648,12 @@ Pipeline::doFetch(Cycle cur, emu::TraceSource &source)
             }
         }
 
-        bool is_branch = op.isBranch();
-        bool correct = true;
-        if (is_branch)
-            correct = predictBranch(op);
+        if (entry.isCondBranch) {
+            ++result_.condBranches;
+            if (!entry.predictedCorrect)
+                ++result_.branchMispredicts;
+        }
+        bool correct = entry.predictedCorrect;
 
         fetchBuffer_.pushBack(FetchedInst{op, cur, !correct});
         --budget;
@@ -612,7 +662,7 @@ Pipeline::doFetch(Cycle cur, emu::TraceSource &source)
             pendingRedirect_ = true;
             return;
         }
-        if (is_branch && op.taken)
+        if (op.isBranch() && op.taken)
             return; // taken branch ends the fetch group
     }
 }
@@ -620,44 +670,57 @@ Pipeline::doFetch(Cycle cur, emu::TraceSource &source)
 void
 Pipeline::warmUp(emu::TraceSource &source, u64 insts)
 {
-    std::array<u64, isa::numArchRegs> int_vals{};
-    std::array<bool, isa::numArchRegs> int_set{};
-    std::array<u64, isa::numArchRegs> fp_vals{};
-    std::array<bool, isa::numArchRegs> fp_set{};
+    warmUp(serialStream(source), insts);
+}
 
-    DynOp op;
-    for (u64 i = 0; i < insts && source.next(op); ++i) {
-        if (op.isBranch())
-            predictBranch(op);
+void
+Pipeline::warmUp(FetchStream &stream, u64 insts)
+{
+    WarmupScratch scratch;
+    warmUpRange(stream, insts, scratch);
+    finishWarmUp(scratch);
+}
+
+void
+Pipeline::warmUpRange(FetchStream &stream, u64 insts,
+                      WarmupScratch &scratch)
+{
+    FetchEntry entry;
+    for (u64 i = 0; i < insts && stream.next(entry); ++i) {
+        const DynOp &op = entry.op;
         memory_.instAccess(op.pc * instBytes);
         if (op.isLoad() || op.isStore()) {
             memory_.dataAccess(op.effAddr);
             intRf_->noteAddress(op.effAddr);
         }
         if (op.writesIntReg()) {
-            int_vals[op.rd] = op.rdValue;
-            int_set[op.rd] = true;
+            scratch.intVals[op.rd] = op.rdValue;
+            scratch.intSet[op.rd] = true;
         } else if (op.writesFpReg()) {
-            fp_vals[op.rd] = op.rdValue;
-            fp_set[op.rd] = true;
+            scratch.fpVals[op.rd] = op.rdValue;
+            scratch.fpSet[op.rd] = true;
         }
     }
+}
 
+void
+Pipeline::finishWarmUp(const WarmupScratch &scratch)
+{
     // Install the fast-forwarded architectural values so the timed
     // window reads consistent register state.
     for (unsigned r = 0; r < isa::numArchRegs; ++r) {
-        if (int_set[r]) {
+        if (scratch.intSet[r]) {
             u32 tag = intMap_.lookup(r);
             intRf_->release(tag);
             regfile::WriteAccess access =
-                intRf_->write(tag, int_vals[r]);
+                intRf_->write(tag, scratch.intVals[r]);
             if (access.stalled)
-                caRf_->writeForced(tag, int_vals[r]);
+                caRf_->writeForced(tag, scratch.intVals[r]);
         }
-        if (fp_set[r]) {
+        if (scratch.fpSet[r]) {
             u32 tag = fpMap_.lookup(r);
             fpRf_->release(tag);
-            fpRf_->write(tag, fp_vals[r]);
+            fpRf_->write(tag, scratch.fpVals[r]);
         }
     }
     intRf_->clearAccessCounts();
@@ -665,84 +728,107 @@ Pipeline::warmUp(emu::TraceSource &source, u64 insts)
     result_ = RunResult{};
 }
 
-RunResult
-Pipeline::run(emu::TraceSource &source, CycleObserver *observer)
+void
+Pipeline::beginRun(const std::string &workload_name,
+                   CycleObserver *observer)
 {
     result_ = RunResult{};
-    result_.workload = source.name();
+    result_.workload = workload_name;
     result_.config = regFileKindName(params_.regFileKind);
+    observer_ = observer;
+    cycle_ = 0;
+    lastCommitCount_ = 0;
+    lastProgressCycle_ = 0;
+    liveLong_.reset();
+    liveShort_.reset();
+}
 
-    stats::Average live_long;
-    stats::Average live_short;
+void
+Pipeline::stepCycle(FetchStream &stream)
+{
+    Cycle cur = cycle_;
+    doCommit(cur);
+    doWriteback(cur);
+    doIssue(cur);
+    doRename(cur);
+    doFetch(cur, stream);
 
-    Cycle cur = 0;
-    u64 last_commit_count = 0;
-    Cycle last_progress = 0;
-
-    while (!(traceExhausted_ && rob_.empty() && fetchBuffer_.empty() &&
-             !pendingFetchValid_)) {
-        doCommit(cur);
-        doWriteback(cur);
-        doIssue(cur);
-        doRename(cur);
-        doFetch(cur, source);
-
-        if (observer && params_.oracleSamplePeriod &&
-            cur % params_.oracleSamplePeriod == 0) {
-            observer->sampleCycle(cur, *intRf_);
-        }
-        if (caRf_) {
-            live_long.sample(caRf_->params().longEntries -
-                             caRf_->freeLongEntries());
-            live_short.sample(caRf_->liveShortEntries());
-        }
-
-        if (result_.committedInsts != last_commit_count) {
-            last_commit_count = result_.committedInsts;
-            last_progress = cur;
-        } else if (cur - last_progress > watchdogCycles) {
-            if (rob_.empty()) {
-                panic("pipeline: no commit for %llu cycles, ROB empty",
-                      (unsigned long long)watchdogCycles);
-            }
-            const InFlightInst &head = rob_.head();
-            std::string src_state = "";
-            if (head.src1Tag != invalidIndex) {
-                const TagInfo &ti = tagInfo(head.src1Tag, head.src1IsFp);
-                src_state += strprintf(" src1[tag=%u st=%d c=%llu r=%llu]",
-                    head.src1Tag, (int)ti.state,
-                    (unsigned long long)ti.completeCycle,
-                    (unsigned long long)ti.rfReadableCycle);
-            }
-            if (head.src2Tag != invalidIndex) {
-                const TagInfo &ti = tagInfo(head.src2Tag, head.src2IsFp);
-                src_state += strprintf(" src2[tag=%u st=%d c=%llu r=%llu]",
-                    head.src2Tag, (int)ti.state,
-                    (unsigned long long)ti.completeCycle,
-                    (unsigned long long)ti.rfReadableCycle);
-            }
-            panic("pipeline: no commit for %llu cycles: head seq %llu "
-                  "op %s state %d stallIssue %d%s",
-                  (unsigned long long)watchdogCycles,
-                  (unsigned long long)head.op.seq,
-                  isa::opcodeName(head.op.op).c_str(), (int)head.state,
-                  (int)intRf_->shouldStallIssue(), src_state.c_str());
-        }
-        ++cur;
+    if (observer_ && params_.oracleSamplePeriod &&
+        cur % params_.oracleSamplePeriod == 0) {
+        observer_->sampleCycle(cur, *intRf_);
+    }
+    if (caRf_) {
+        liveLong_.sample(caRf_->params().longEntries -
+                         caRf_->freeLongEntries());
+        liveShort_.sample(caRf_->liveShortEntries());
     }
 
-    result_.cycles = cur;
-    result_.ipc = cur ? static_cast<double>(result_.committedInsts) / cur
-                      : 0.0;
+    if (result_.committedInsts != lastCommitCount_) {
+        lastCommitCount_ = result_.committedInsts;
+        lastProgressCycle_ = cur;
+    } else if (cur - lastProgressCycle_ > watchdogCycles) {
+        if (rob_.empty()) {
+            panic("pipeline: no commit for %llu cycles, ROB empty",
+                  (unsigned long long)watchdogCycles);
+        }
+        const InFlightInst &head = rob_.head();
+        std::string src_state = "";
+        if (head.src1Tag != invalidIndex) {
+            const TagInfo &ti = tagInfo(head.src1Tag, head.src1IsFp);
+            src_state += strprintf(" src1[tag=%u st=%d c=%llu r=%llu]",
+                head.src1Tag, (int)ti.state,
+                (unsigned long long)ti.completeCycle,
+                (unsigned long long)ti.rfReadableCycle);
+        }
+        if (head.src2Tag != invalidIndex) {
+            const TagInfo &ti = tagInfo(head.src2Tag, head.src2IsFp);
+            src_state += strprintf(" src2[tag=%u st=%d c=%llu r=%llu]",
+                head.src2Tag, (int)ti.state,
+                (unsigned long long)ti.completeCycle,
+                (unsigned long long)ti.rfReadableCycle);
+        }
+        panic("pipeline: no commit for %llu cycles: head seq %llu "
+              "op %s state %d stallIssue %d%s",
+              (unsigned long long)watchdogCycles,
+              (unsigned long long)head.op.seq,
+              isa::opcodeName(head.op.op).c_str(), (int)head.state,
+              (int)intRf_->shouldStallIssue(), src_state.c_str());
+    }
+    ++cycle_;
+}
+
+RunResult
+Pipeline::finishRun()
+{
+    result_.cycles = cycle_;
+    result_.ipc = cycle_ ? static_cast<double>(result_.committedInsts) /
+                               cycle_
+                         : 0.0;
     result_.intRfAccesses = intRf_->accessCounts();
     if (caRf_) {
         result_.shortFileWrites = caRf_->shortFile().allocations();
         result_.longAllocStalls = caRf_->longAllocStalls();
         result_.recoveries = caRf_->recoveries();
-        result_.avgLiveLong = live_long.mean();
-        result_.avgLiveShort = live_short.mean();
+        result_.avgLiveLong = liveLong_.mean();
+        result_.avgLiveShort = liveShort_.mean();
     }
+    observer_ = nullptr;
     return result_;
+}
+
+RunResult
+Pipeline::run(emu::TraceSource &source, CycleObserver *observer)
+{
+    return run(serialStream(source), observer);
+}
+
+RunResult
+Pipeline::run(FetchStream &stream, CycleObserver *observer)
+{
+    beginRun(stream.name(), observer);
+    while (active())
+        stepCycle(stream);
+    return finishRun();
 }
 
 } // namespace carf::core

@@ -20,18 +20,25 @@
  * The front end never fetches wrong-path instructions; a mispredicted
  * branch stalls fetch until the branch executes, charging the full
  * redirect-plus-refill latency (see DESIGN.md substitutions).
+ *
+ * A Pipeline is a resumable lane: beginRun()/stepCycle()/finishRun()
+ * expose the cycle loop so the lockstep engine (src/sim/lockstep.cc)
+ * can interleave many configurations over one decoded FetchStream.
+ * The classic run(TraceSource&) entry point wraps the same loop
+ * around an owned PredictingFetchStream and is bit-identical to the
+ * pre-lockstep pipeline.
  */
 
 #ifndef CARF_CORE_PIPELINE_HH
 #define CARF_CORE_PIPELINE_HH
 
+#include <array>
 #include <memory>
 #include <vector>
 
-#include "branch/btb.hh"
-#include "branch/gshare.hh"
-#include "branch/ras.hh"
+#include "common/stats.hh"
 #include "core/core_stats.hh"
+#include "core/fetch_stream.hh"
 #include "core/issue_queue.hh"
 #include "core/lsq.hh"
 #include "core/params.hh"
@@ -70,6 +77,9 @@ class Pipeline
     RunResult run(emu::TraceSource &source,
                   CycleObserver *observer = nullptr);
 
+    /** As above over an externally predicted stream. */
+    RunResult run(FetchStream &stream, CycleObserver *observer = nullptr);
+
     /**
      * Fast-forward: functionally consume up to @p insts instructions
      * from @p source before timed simulation, warming the branch
@@ -78,6 +88,64 @@ class Pipeline
      * after a SimPoint-style skip). Call before run(), at most once.
      */
     void warmUp(emu::TraceSource &source, u64 insts);
+
+    /** As above over an externally predicted stream. */
+    void warmUp(FetchStream &stream, u64 insts);
+
+    // --- resumable-lane interface (lockstep engine) ---
+
+    /**
+     * Architectural values accumulated across chunked warm-up calls;
+     * zero-initialized, passed to every warmUpRange() of one warm-up
+     * and installed by finishWarmUp().
+     */
+    struct WarmupScratch
+    {
+        std::array<u64, isa::numArchRegs> intVals{};
+        std::array<bool, isa::numArchRegs> intSet{};
+        std::array<u64, isa::numArchRegs> fpVals{};
+        std::array<bool, isa::numArchRegs> fpSet{};
+    };
+
+    /**
+     * Functionally consume up to @p insts records of @p stream into
+     * @p scratch (one slice of a possibly chunked warm-up). Stops
+     * early only when the stream ends.
+     */
+    void warmUpRange(FetchStream &stream, u64 insts,
+                     WarmupScratch &scratch);
+
+    /**
+     * Install the warm-up's architectural values and reset statistics
+     * for the timed window. Call once, after the last warmUpRange().
+     */
+    void finishWarmUp(const WarmupScratch &scratch);
+
+    /** Arm the timed window: reset statistics and the cycle counter. */
+    void beginRun(const std::string &workload_name,
+                  CycleObserver *observer = nullptr);
+
+    /**
+     * True while the timed window still has work: trace records left
+     * to fetch or instructions in flight. beginRun() must have run.
+     */
+    bool
+    active() const
+    {
+        return !(traceExhausted_ && rob_.empty() &&
+                 fetchBuffer_.empty() && !pendingFetchValid_);
+    }
+
+    /**
+     * Advance the lane by one cycle, fetching from @p stream. The
+     * caller may switch the stream object between calls as long as
+     * the record sequence is the one uninterrupted program-order
+     * trace the lane has been consuming.
+     */
+    void stepCycle(FetchStream &stream);
+
+    /** Close the timed window and return the run summary. */
+    RunResult finishRun();
 
     const CoreParams &params() const { return params_; }
     regfile::RegisterFile &intRegFile() { return *intRf_; }
@@ -102,6 +170,13 @@ class Pipeline
         Cycle completeCycle = 0;
         /** First cycle the value is readable from the file. */
         Cycle rfReadableCycle = 0;
+        /**
+         * While Pending: a lower bound on the producing instruction's
+         * issue cycle (set at rename, raised when the producer is
+         * parked). Lets consumers of a parked producer park too, so
+         * whole dependency chains leave the issue scan.
+         */
+        Cycle earliestIssue = 0;
     };
 
     struct FetchedInst
@@ -124,10 +199,7 @@ class Pipeline
     void doWriteback(Cycle cur);
     void doIssue(Cycle cur);
     void doRename(Cycle cur);
-    void doFetch(Cycle cur, emu::TraceSource &source);
-
-    /** Front-end prediction for @p op; true when correct. */
-    bool predictBranch(const emu::DynOp &op);
+    void doFetch(Cycle cur, FetchStream &stream);
 
     /** Gather the register sources of @p inst. */
     void gatherSources(const InFlightInst &inst, SourceView &s1,
@@ -149,6 +221,13 @@ class Pipeline
     {
         return is_fp ? fpTags_[tag] : intTags_[tag];
     }
+
+    /**
+     * The owned serial front end backing the TraceSource entry
+     * points. Created on first use and kept for the Pipeline's
+     * lifetime so predictor state spans warmUp() and run().
+     */
+    FetchStream &serialStream(emu::TraceSource &source);
 
     CoreParams params_;
 
@@ -182,9 +261,24 @@ class Pipeline
     std::vector<InFlightInst *> dispatched_;
     std::vector<InFlightInst *> pendingWb_;
 
-    branch::Gshare gshare_;
-    branch::Btb btb_;
-    branch::Ras ras_;
+    /**
+     * Dispatched instructions parked out of the issue scan until a
+     * known cycle: a min-heap keyed by the first cycle their operand
+     * check could pass, derived only from facts that cannot change
+     * before then (an issued producer's completeCycle, a written-back
+     * producer's rfReadableCycle, or a parked producer's own bound).
+     * Entries re-enter dispatched_ at their age-ordered position when
+     * the bound arrives, so issue decisions are bit-identical to the
+     * full scan — the parked cycles are exactly the ones whose check
+     * was guaranteed to fail. A Long issue-stall cycle unparks
+     * everything first, keeping issueStallCycles exact.
+     */
+    std::vector<std::pair<Cycle, InFlightInst *>> parked_;
+
+    /** Move @p inst back into dispatched_ at its seq position. */
+    void unpark(InFlightInst *inst);
+
+    std::unique_ptr<PredictingFetchStream> serialStream_;
 
     mem::Hierarchy memory_;
 
@@ -193,11 +287,19 @@ class Pipeline
     bool pendingRedirect_ = false;
     Cycle fetchResumeCycle_ = 0;
     u64 lastFetchLine_ = ~u64{0};
-    /** Instruction pulled from the trace but stalled on an I-miss. */
-    emu::DynOp pendingFetch_;
+    /** Record pulled from the stream but stalled on an I-miss. */
+    FetchEntry pendingFetch_;
     bool pendingFetchValid_ = false;
 
     u64 committedSinceInterval_ = 0;
+
+    // --- timed-window cycle-loop state (spans stepCycle calls) ---
+    Cycle cycle_ = 0;
+    u64 lastCommitCount_ = 0;
+    Cycle lastProgressCycle_ = 0;
+    stats::Average liveLong_;
+    stats::Average liveShort_;
+    CycleObserver *observer_ = nullptr;
 
     RunResult result_;
 };

@@ -50,28 +50,108 @@ ExperimentRunner::runTasks(size_t count,
         thread.join();
 }
 
+namespace
+{
+
+/** A job the lockstep engine could ever share a front end for. */
+bool
+lockstepEligible(const ExperimentJob &job)
+{
+    return job.options.lockstep && !job.oracle &&
+           job.options.oracleSamplePeriod == 0;
+}
+
+/** Whether two eligible jobs can share one lockstep replay. */
+bool
+sameLockstepGroup(const ExperimentJob &a, const ExperimentJob &b)
+{
+    return a.workload.name == b.workload.name &&
+           a.options.maxInsts == b.options.maxInsts &&
+           a.options.fastForward == b.options.fastForward &&
+           a.options.traceCache == b.options.traceCache &&
+           a.params.gshareHistoryBits == b.params.gshareHistoryBits &&
+           a.params.btbEntries == b.params.btbEntries &&
+           a.params.rasDepth == b.params.rasDepth;
+}
+
+/**
+ * Partition @p batch into schedulable units: each unit is the list of
+ * submission indices of jobs that run together through one
+ * simulateGroup() call (or a singleton running plain simulate()).
+ * Greedy in submission order — a unit collects every later compatible
+ * job up to lockstepMaxGroup — so unit membership is deterministic.
+ */
+std::vector<std::vector<size_t>>
+partitionBatch(const std::vector<ExperimentJob> &batch)
+{
+    std::vector<std::vector<size_t>> units;
+    std::vector<bool> assigned(batch.size(), false);
+    for (size_t i = 0; i < batch.size(); ++i) {
+        if (assigned[i])
+            continue;
+        std::vector<size_t> unit{i};
+        assigned[i] = true;
+        if (lockstepEligible(batch[i])) {
+            size_t cap = batch[i].options.lockstepMaxGroup
+                             ? batch[i].options.lockstepMaxGroup
+                             : batch.size();
+            for (size_t j = i + 1; j < batch.size() && unit.size() < cap;
+                 ++j) {
+                if (!assigned[j] && lockstepEligible(batch[j]) &&
+                    sameLockstepGroup(batch[i], batch[j])) {
+                    unit.push_back(j);
+                    assigned[j] = true;
+                }
+            }
+        }
+        units.push_back(std::move(unit));
+    }
+    return units;
+}
+
+} // namespace
+
 std::vector<core::RunResult>
 ExperimentRunner::run(const std::vector<ExperimentJob> &batch,
                       const ProgressFn &progress) const
 {
     std::vector<core::RunResult> results(batch.size());
 
-    // Results land in submission-order slots no matter which worker
-    // finishes first, so a parallel batch is bit-identical to a
-    // serial one. The mutex both serializes progress callbacks and
-    // publishes each result slot.
+    // Jobs sharing a workload and run options collapse into lockstep
+    // units (decode once, step every config — see simulateGroup());
+    // the pool then schedules whole units. Results still land in
+    // submission-order slots, and lockstep replay is bit-identical to
+    // solo simulation, so the result vector is unchanged by grouping.
+    std::vector<std::vector<size_t>> units = partitionBatch(batch);
+
+    // The mutex both serializes progress callbacks and publishes each
+    // result slot.
     std::mutex progress_mutex;
     size_t completed = 0;
 
-    runTasks(batch.size(), [&](size_t i) {
-        const ExperimentJob &job = batch[i];
-        core::RunResult result = simulate(job.workload, job.params,
-                                          job.options, job.oracle);
+    runTasks(units.size(), [&](size_t u) {
+        const std::vector<size_t> &unit = units[u];
+        std::vector<core::RunResult> unit_results;
+        if (unit.size() == 1) {
+            const ExperimentJob &job = batch[unit[0]];
+            unit_results.push_back(simulate(job.workload, job.params,
+                                            job.options, job.oracle));
+        } else {
+            std::vector<core::CoreParams> configs;
+            configs.reserve(unit.size());
+            for (size_t i : unit)
+                configs.push_back(batch[i].params);
+            unit_results = simulateGroup(
+                batch[unit[0]].workload, configs, batch[unit[0]].options);
+        }
         std::lock_guard<std::mutex> lock(progress_mutex);
-        results[i] = std::move(result);
-        ++completed;
-        if (progress)
-            progress({completed, batch.size(), job, results[i]});
+        for (size_t k = 0; k < unit.size(); ++k) {
+            size_t i = unit[k];
+            results[i] = std::move(unit_results[k]);
+            ++completed;
+            if (progress)
+                progress({completed, batch.size(), batch[i], results[i]});
+        }
     });
     return results;
 }

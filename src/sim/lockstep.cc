@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Config-parallel lockstep replay: one trace, N pipeline lanes.
+ *
+ * simulateGroup() advances an array of per-config Pipeline lanes over
+ * a single materialized TraceBuffer. The work that is identical
+ * across configurations — record decode and the gshare/BTB/RAS front
+ * end, which consume the trace strictly in program order with no
+ * timing inputs — runs once per record in a SharedFrontend; each lane
+ * replays the resulting FetchEntry window through its own timing
+ * model (register files, caches, ROB/issue state stay per-lane: the
+ * unified L2 makes data-access order config-dependent).
+ *
+ * Lanes proceed through the trace in bounded chunks. A chunk
+ * materializes records [start, end) into the shared window; a lane
+ * steps whole cycles while a full fetch group is guaranteed to lie
+ * inside the window (one cycle consumes at most fetchWidth records),
+ * then pauses. When every lane has either paused or finished the
+ * window slides forward from the minimum lane position — pausing
+ * never splits a cycle, so each lane executes exactly the cycle
+ * sequence a solo run would, and results are bit-identical to
+ * serial simulate() calls.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/fetch_stream.hh"
+#include "emu/trace_buffer.hh"
+#include "sim/simulator.hh"
+
+namespace carf::sim
+{
+
+namespace
+{
+
+/**
+ * Decode-window chunk size in records. Bounds the shared window's
+ * footprint (~72 B per entry) while keeping the per-chunk pause
+ * overhead negligible against thousands of simulated cycles.
+ */
+constexpr u64 chunkRecords = 4096;
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+/**
+ * The decode-once front end: materializes trace records into
+ * FetchEntry form and runs branch prediction over them, strictly in
+ * program order, exactly once per record. Holds the sliding window
+ * [start, end) that lane streams read from.
+ */
+class SharedFrontend
+{
+  public:
+    SharedFrontend(const emu::TraceBuffer &buffer, u64 limit,
+                   const core::CoreParams &branch_geometry)
+        : cursor_(buffer, limit), predictors_(branch_geometry)
+    {
+        entries_.reserve(chunkRecords + 16);
+    }
+
+    /**
+     * Slide the window to [new_start, new_end): drop records before
+     * new_start, decode+predict records from the previous end to
+     * new_end. Retained records keep their original prediction —
+     * re-predicting would corrupt the trace-order predictor state.
+     */
+    void
+    advance(u64 new_start, u64 new_end)
+    {
+        if (new_start < start_ || new_start > end_ || new_end < end_)
+            panic("SharedFrontend: window [%llu,%llu) -> [%llu,%llu)",
+                  (unsigned long long)start_, (unsigned long long)end_,
+                  (unsigned long long)new_start,
+                  (unsigned long long)new_end);
+        entries_.erase(entries_.begin(),
+                       entries_.begin() +
+                           static_cast<long>(new_start - start_));
+        start_ = new_start;
+        for (u64 i = end_; i < new_end; ++i) {
+            core::FetchEntry entry;
+            if (!cursor_.next(entry.op))
+                panic("SharedFrontend: trace ended at %llu, window "
+                      "end %llu",
+                      (unsigned long long)i,
+                      (unsigned long long)new_end);
+            predictors_.predict(entry.op, entry);
+            entries_.push_back(entry);
+        }
+        end_ = new_end;
+    }
+
+    const core::FetchEntry &
+    at(u64 index) const
+    {
+        if (index < start_ || index >= end_)
+            panic("SharedFrontend: read %llu outside window "
+                  "[%llu,%llu)",
+                  (unsigned long long)index, (unsigned long long)start_,
+                  (unsigned long long)end_);
+        return entries_[index - start_];
+    }
+
+    u64 windowEnd() const { return end_; }
+
+  private:
+    emu::TraceBuffer::Cursor cursor_;
+    core::BranchPredictors predictors_;
+    std::vector<core::FetchEntry> entries_;
+    u64 start_ = 0;
+    u64 end_ = 0;
+};
+
+/**
+ * One lane's view of the shared window: a FetchStream whose position
+ * is the lane's private progress through the common record sequence.
+ */
+class WindowFetchStream final : public core::FetchStream
+{
+  public:
+    WindowFetchStream(const SharedFrontend &frontend, u64 limit,
+                      std::string name)
+        : frontend_(&frontend), limit_(limit), name_(std::move(name))
+    {
+    }
+
+    bool
+    next(core::FetchEntry &out) override
+    {
+        if (pos_ >= limit_)
+            return false;
+        out = frontend_->at(pos_);
+        ++pos_;
+        return true;
+    }
+
+    std::string name() const override { return name_; }
+
+    u64 position() const { return pos_; }
+
+  private:
+    const SharedFrontend *frontend_;
+    u64 limit_;
+    u64 pos_ = 0;
+    std::string name_;
+};
+
+/** Branch-front-end geometry must match for predictions to be shared. */
+bool
+uniformBranchGeometry(const std::vector<core::CoreParams> &configs)
+{
+    const core::CoreParams &ref = configs.front();
+    for (const core::CoreParams &c : configs) {
+        if (c.gshareHistoryBits != ref.gshareHistoryBits ||
+            c.btbEntries != ref.btbEntries || c.rasDepth != ref.rasDepth)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<core::RunResult>
+simulateGroup(const workloads::Workload &workload,
+              const std::vector<core::CoreParams> &configs,
+              const SimOptions &options)
+{
+    auto serial_fallback = [&] {
+        std::vector<core::RunResult> results;
+        results.reserve(configs.size());
+        for (const core::CoreParams &params : configs)
+            results.push_back(
+                simulate(workload, params, options, nullptr));
+        return results;
+    };
+
+    if (configs.size() < 2 || options.oracleSamplePeriod != 0 ||
+        !uniformBranchGeometry(configs))
+        return serial_fallback();
+
+    auto acquire_start = std::chrono::steady_clock::now();
+    u64 total_insts = options.fastForward + options.maxInsts;
+    std::shared_ptr<const emu::TraceBuffer> buffer;
+    if (options.traceCache) {
+        buffer = options.traceCache->acquire(
+            workload.name, total_insts, [&workload, total_insts] {
+                return workloads::makeTrace(workload, total_insts);
+            });
+        if (!buffer) {
+            // Over the cache's byte budget: streaming replay cannot
+            // be shared across lanes, so honour the budget serially.
+            return serial_fallback();
+        }
+    } else {
+        auto trace = workloads::makeTrace(workload, total_insts);
+        buffer = emu::TraceBuffer::build(*trace, workload.name,
+                                         total_insts);
+    }
+    double acquire_seconds = secondsSince(acquire_start);
+
+    const size_t lanes = configs.size();
+    const u64 limit = std::min<u64>(total_insts, buffer->size());
+
+    struct Lane
+    {
+        std::unique_ptr<core::Pipeline> pipe;
+        std::unique_ptr<WindowFetchStream> stream;
+        double seconds = 0.0;
+        bool done = false;
+    };
+
+    SharedFrontend frontend(*buffer, limit, configs.front());
+    double shared_seconds = 0.0;
+
+    std::vector<Lane> group(lanes);
+    for (size_t i = 0; i < lanes; ++i) {
+        core::CoreParams run_params = configs[i];
+        run_params.oracleSamplePeriod = options.oracleSamplePeriod;
+        group[i].pipe = std::make_unique<core::Pipeline>(run_params);
+        group[i].stream = std::make_unique<WindowFetchStream>(
+            frontend, limit, workload.name);
+    }
+
+    // Fast-forward: every lane consumes the same warm-up prefix, so
+    // the window slides in uniform chunks.
+    if (options.fastForward > 0) {
+        const u64 warm_end = std::min<u64>(options.fastForward, limit);
+        std::vector<core::Pipeline::WarmupScratch> scratch(lanes);
+        u64 pos = 0;
+        while (pos < warm_end) {
+            u64 chunk_end = std::min<u64>(pos + chunkRecords, warm_end);
+            auto t0 = std::chrono::steady_clock::now();
+            frontend.advance(pos, chunk_end);
+            shared_seconds += secondsSince(t0);
+            for (size_t i = 0; i < lanes; ++i) {
+                auto t1 = std::chrono::steady_clock::now();
+                group[i].pipe->warmUpRange(*group[i].stream,
+                                           chunk_end - pos, scratch[i]);
+                group[i].seconds += secondsSince(t1);
+            }
+            pos = chunk_end;
+        }
+        for (size_t i = 0; i < lanes; ++i)
+            group[i].pipe->finishWarmUp(scratch[i]);
+    }
+
+    for (Lane &lane : group)
+        lane.pipe->beginRun(workload.name);
+
+    // Timed window: chunked lockstep. A cycle consumes at most
+    // fetchWidth records, so a lane stepping only while
+    // position + fetchWidth <= window end can never read past it —
+    // and never pauses mid-cycle. On the final chunk the stream
+    // simply runs dry and each lane drains to completion.
+    size_t active_lanes = lanes;
+    while (active_lanes > 0) {
+        u64 min_pos = ~u64{0};
+        for (Lane &lane : group) {
+            if (!lane.done && lane.stream->position() < limit)
+                min_pos = std::min(min_pos, lane.stream->position());
+        }
+
+        bool last_chunk = true;
+        if (min_pos != ~u64{0}) {
+            u64 chunk_end =
+                std::min<u64>(min_pos + chunkRecords, limit);
+            auto t0 = std::chrono::steady_clock::now();
+            frontend.advance(min_pos, chunk_end);
+            shared_seconds += secondsSince(t0);
+            last_chunk = chunk_end == limit;
+        }
+
+        const u64 window_end = frontend.windowEnd();
+        for (Lane &lane : group) {
+            if (lane.done)
+                continue;
+            core::Pipeline &pipe = *lane.pipe;
+            WindowFetchStream &stream = *lane.stream;
+            const u64 fetch_width = pipe.params().fetchWidth;
+            auto t1 = std::chrono::steady_clock::now();
+            if (last_chunk || stream.position() >= limit) {
+                while (pipe.active())
+                    pipe.stepCycle(stream);
+            } else {
+                while (pipe.active() &&
+                       stream.position() + fetch_width <= window_end)
+                    pipe.stepCycle(stream);
+            }
+            lane.seconds += secondsSince(t1);
+            if (!pipe.active()) {
+                lane.done = true;
+                --active_lanes;
+            }
+        }
+    }
+
+    std::vector<core::RunResult> results;
+    results.reserve(lanes);
+    for (size_t i = 0; i < lanes; ++i) {
+        core::RunResult result = group[i].pipe->finishRun();
+        // Shared work is split evenly: summing wallSeconds over the
+        // group reproduces the group's true wall time.
+        result.traceBuildSeconds =
+            acquire_seconds / static_cast<double>(lanes);
+        result.simSeconds = group[i].seconds +
+                            shared_seconds / static_cast<double>(lanes);
+        result.wallSeconds =
+            result.traceBuildSeconds + result.simSeconds;
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+} // namespace carf::sim

@@ -36,6 +36,15 @@ struct SimOptions
      * back to streaming transparently (the cache logs the fallback).
      */
     emu::TraceCache *traceCache = nullptr;
+    /**
+     * Allow ExperimentRunner to batch this job with others sharing
+     * its workload and run options into one lockstep group (see
+     * simulateGroup()). Results are bit-identical either way; off is
+     * for A/B timing comparisons.
+     */
+    bool lockstep = true;
+    /** Lockstep lanes per group; 0 means unbounded. */
+    unsigned lockstepMaxGroup = 0;
 };
 
 /**
@@ -48,6 +57,26 @@ core::RunResult simulate(const workloads::Workload &workload,
                          const core::CoreParams &params,
                          const SimOptions &options = {},
                          LiveValueOracle *oracle = nullptr);
+
+/**
+ * Simulate @p workload under every configuration in @p configs in
+ * lockstep over one shared trace replay: each record is decoded and
+ * branch-predicted once, then consumed by every per-config pipeline
+ * lane (src/sim/lockstep.cc). Results are in @p configs order and
+ * bit-identical to calling simulate() per configuration — only the
+ * host-time fields differ (the shared front-end cost is split evenly
+ * across lanes).
+ *
+ * Falls back to per-config serial simulate() calls when lockstep
+ * cannot share the front end: fewer than two configs, an oracle
+ * sampling period, mismatched branch-predictor geometry across
+ * configs, or a trace cache that declined to materialize the trace
+ * (streaming replay cannot be shared).
+ */
+std::vector<core::RunResult>
+simulateGroup(const workloads::Workload &workload,
+              const std::vector<core::CoreParams> &configs,
+              const SimOptions &options = {});
 
 } // namespace carf::sim
 

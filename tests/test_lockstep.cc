@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests for the config-parallel lockstep replay engine
+ * (src/sim/lockstep.cc) and its ExperimentRunner integration: grouped
+ * replay must be bit-identical to solo simulate() calls — including
+ * the statistics that never reach the JSON report — across standard
+ * configurations, fast-forward warm-up, fallback paths, group-size
+ * caps, and multi-worker contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment_runner.hh"
+#include "sim/reporting.hh"
+#include "sim/simulator.hh"
+
+namespace carf::sim
+{
+
+namespace
+{
+
+/**
+ * Deterministic slice of a RunResult's JSON (the host-time fields sit
+ * together at the object tail; one cut removes all of them).
+ */
+std::string
+jsonSansTime(const core::RunResult &result)
+{
+    std::string json = runResultJson(result);
+    auto pos = json.find(",\"wall_seconds\":");
+    EXPECT_NE(pos, std::string::npos);
+    return json.substr(0, pos) + "}";
+}
+
+/** The four configurations the perf-smoke sweep exercises. */
+std::vector<core::CoreParams>
+standardConfigs()
+{
+    return {core::CoreParams::unlimited(), core::CoreParams::baseline(),
+            core::CoreParams::contentAware(16),
+            core::CoreParams::contentAware(20)};
+}
+
+std::vector<workloads::Workload>
+miniSuite()
+{
+    return {workloads::findWorkload("counters"),
+            workloads::findWorkload("hash_table"),
+            workloads::findWorkload("pointer_chase"),
+            workloads::findWorkload("daxpy")};
+}
+
+SimOptions
+quick(u64 insts = 20000)
+{
+    SimOptions options;
+    options.maxInsts = insts;
+    return options;
+}
+
+/**
+ * Full deterministic comparison: the reported JSON plus the RunResult
+ * fields that never reach it (issue-stall and branch counters feed
+ * tables only via derived figures, so a bug there would otherwise
+ * hide).
+ */
+void
+expectSameRun(const core::RunResult &a, const core::RunResult &b,
+              const std::string &what)
+{
+    EXPECT_EQ(jsonSansTime(a), jsonSansTime(b)) << what;
+    EXPECT_EQ(a.issueStallCycles, b.issueStallCycles) << what;
+    EXPECT_EQ(a.condBranches, b.condBranches) << what;
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts) << what;
+}
+
+} // namespace
+
+TEST(Lockstep, GroupedMatchesSerialForStandardConfigs)
+{
+    emu::TraceCache cache;
+    auto options = quick();
+    options.traceCache = &cache;
+    auto configs = standardConfigs();
+
+    for (const auto &w : miniSuite()) {
+        auto grouped = simulateGroup(w, configs, options);
+        ASSERT_EQ(grouped.size(), configs.size()) << w.name;
+        for (size_t i = 0; i < configs.size(); ++i) {
+            auto serial = simulate(w, configs[i], options);
+            expectSameRun(grouped[i], serial,
+                          w.name + " config " + std::to_string(i));
+            // Host-time attribution stays self-consistent.
+            EXPECT_EQ(grouped[i].wallSeconds,
+                      grouped[i].traceBuildSeconds +
+                          grouped[i].simSeconds);
+        }
+    }
+}
+
+TEST(Lockstep, FastForwardGroupMatchesSerial)
+{
+    emu::TraceCache cache;
+    auto options = quick(12000);
+    options.fastForward = 6000;
+    options.traceCache = &cache;
+    auto configs = standardConfigs();
+    const auto &w = workloads::findWorkload("graph_walk");
+
+    auto grouped = simulateGroup(w, configs, options);
+    for (size_t i = 0; i < configs.size(); ++i) {
+        auto serial = simulate(w, configs[i], options);
+        expectSameRun(grouped[i], serial,
+                      "ff config " + std::to_string(i));
+    }
+}
+
+TEST(Lockstep, NoCacheGroupMatchesSerial)
+{
+    // Without a trace cache the group materializes a private buffer;
+    // solo simulate() streams. Results must still match.
+    auto options = quick(8000);
+    auto configs = standardConfigs();
+    const auto &w = workloads::findWorkload("crc");
+
+    auto grouped = simulateGroup(w, configs, options);
+    for (size_t i = 0; i < configs.size(); ++i) {
+        auto serial = simulate(w, configs[i], options);
+        expectSameRun(grouped[i], serial,
+                      "nocache config " + std::to_string(i));
+    }
+}
+
+TEST(Lockstep, BranchGeometryMismatchFallsBackCorrectly)
+{
+    // Mismatched predictor geometry cannot share a front end; the
+    // group must transparently fall back to per-config runs.
+    auto options = quick(8000);
+    std::vector<core::CoreParams> configs = {
+        core::CoreParams::baseline(), core::CoreParams::contentAware(20)};
+    configs[1].gshareHistoryBits += 2;
+    const auto &w = workloads::findWorkload("bst_search");
+
+    auto grouped = simulateGroup(w, configs, options);
+    for (size_t i = 0; i < configs.size(); ++i) {
+        auto serial = simulate(w, configs[i], options);
+        expectSameRun(grouped[i], serial,
+                      "mismatch config " + std::to_string(i));
+    }
+}
+
+TEST(Lockstep, RunnerGroupsJobsAndKeepsSubmissionOrder)
+{
+    // A config-major batch over two workloads: the runner must return
+    // exactly what the ungrouped (lockstep=0) batch returns, slot for
+    // slot, and acquire each workload's trace only once.
+    emu::TraceCache grouped_cache;
+    emu::TraceCache solo_cache;
+    auto grouped_options = quick();
+    grouped_options.traceCache = &grouped_cache;
+    auto solo_options = quick();
+    solo_options.traceCache = &solo_cache;
+    solo_options.lockstep = false;
+
+    std::vector<workloads::Workload> mini = {
+        workloads::findWorkload("counters"),
+        workloads::findWorkload("rle"),
+    };
+    std::vector<ExperimentJob> grouped_jobs, solo_jobs;
+    for (const auto &params : standardConfigs()) {
+        for (const auto &w : mini) {
+            grouped_jobs.push_back(
+                {w, params, grouped_options, "g", nullptr});
+            solo_jobs.push_back({w, params, solo_options, "s", nullptr});
+        }
+    }
+
+    auto grouped = ExperimentRunner(1).run(grouped_jobs);
+    auto solo = ExperimentRunner(1).run(solo_jobs);
+    ASSERT_EQ(grouped.size(), solo.size());
+    for (size_t i = 0; i < grouped.size(); ++i)
+        expectSameRun(grouped[i], solo[i], "slot " + std::to_string(i));
+
+    // One lockstep group per workload: one acquire each, zero hits.
+    EXPECT_EQ(grouped_cache.stats().builds, mini.size());
+    EXPECT_EQ(grouped_cache.stats().hits, 0u);
+    // The ungrouped batch acquires once per job.
+    EXPECT_EQ(solo_cache.stats().hits,
+              solo_jobs.size() - mini.size());
+}
+
+TEST(Lockstep, MixedBatchGroupsOnlyCompatibleJobs)
+{
+    // Jobs differing in workload, budget, or lockstep opt-out must
+    // not land in one group, and every result must match its solo
+    // reference.
+    emu::TraceCache cache;
+    auto base = quick();
+    base.traceCache = &cache;
+    auto opted_out = base;
+    opted_out.lockstep = false;
+    auto bigger = base;
+    bigger.maxInsts = 30000;
+
+    const auto &w1 = workloads::findWorkload("counters");
+    const auto &w2 = workloads::findWorkload("dfa_scan");
+    std::vector<ExperimentJob> jobs = {
+        {w1, core::CoreParams::baseline(), base, "", nullptr},
+        {w2, core::CoreParams::baseline(), base, "", nullptr},
+        {w1, core::CoreParams::contentAware(20), opted_out, "", nullptr},
+        {w1, core::CoreParams::contentAware(16), base, "", nullptr},
+        {w1, core::CoreParams::baseline(), bigger, "", nullptr},
+        {w2, core::CoreParams::contentAware(20), base, "", nullptr},
+    };
+
+    auto results = ExperimentRunner(1).run(jobs);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        auto solo_options = jobs[i].options;
+        solo_options.traceCache = nullptr;
+        solo_options.lockstep = false;
+        auto reference =
+            simulate(jobs[i].workload, jobs[i].params, solo_options);
+        expectSameRun(results[i], reference,
+                      "mixed slot " + std::to_string(i));
+    }
+}
+
+TEST(Lockstep, MaxGroupCapSplitsGroups)
+{
+    // With a cap of 2, four compatible configs form two groups, each
+    // acquiring the trace once: one build plus one hit.
+    emu::TraceCache cache;
+    auto options = quick();
+    options.traceCache = &cache;
+    options.lockstepMaxGroup = 2;
+    const auto &w = workloads::findWorkload("counters");
+
+    std::vector<ExperimentJob> jobs;
+    for (const auto &params : standardConfigs())
+        jobs.push_back({w, params, options, "", nullptr});
+    auto capped = ExperimentRunner(1).run(jobs);
+
+    EXPECT_EQ(cache.stats().builds, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+
+    auto uncapped_options = options;
+    uncapped_options.lockstepMaxGroup = 0;
+    for (auto &job : jobs)
+        job.options = uncapped_options;
+    auto uncapped = ExperimentRunner(1).run(jobs);
+    for (size_t i = 0; i < jobs.size(); ++i)
+        expectSameRun(capped[i], uncapped[i],
+                      "cap slot " + std::to_string(i));
+}
+
+TEST(Lockstep, EightWorkerContentionMatchesSingleWorker)
+{
+    // Grouped units scheduled across an 8-thread pool (the TSan job
+    // runs this suite): results must match the 1-worker run slot for
+    // slot.
+    emu::TraceCache cache8;
+    emu::TraceCache cache1;
+    auto options = quick();
+    options.traceCache = &cache8;
+
+    std::vector<ExperimentJob> jobs;
+    for (const auto &params : standardConfigs())
+        for (const auto &w : miniSuite())
+            jobs.push_back({w, params, options, "", nullptr});
+
+    auto parallel = ExperimentRunner(8).run(jobs);
+    for (auto &job : jobs)
+        job.options.traceCache = &cache1;
+    auto serial = ExperimentRunner(1).run(jobs);
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < jobs.size(); ++i)
+        expectSameRun(parallel[i], serial[i],
+                      "contention slot " + std::to_string(i));
+}
+
+} // namespace carf::sim

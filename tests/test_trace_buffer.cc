@@ -369,7 +369,9 @@ TEST(SimulateWithCache, BitIdenticalToStreamingForEveryWorkload)
         EXPECT_EQ(cache.buildCount(w.name), 1u) << w.name;
         EXPECT_EQ(streamed.wallSeconds,
                   streamed.traceBuildSeconds + streamed.simSeconds);
-        EXPECT_EQ(streamed.traceBuildSeconds, 0.0);
+        // Streaming meters the emulator at the source, so its
+        // interleaved build cost shows up split out of simSeconds.
+        EXPECT_GT(streamed.traceBuildSeconds, 0.0);
         EXPECT_EQ(cached.wallSeconds,
                   cached.traceBuildSeconds + cached.simSeconds);
     }
@@ -409,8 +411,11 @@ TEST(SimulateWithCache, FallbackToStreamingIsTransparent)
     EXPECT_EQ(jsonSansTime(streamed), jsonSansTime(fallen_back));
     EXPECT_EQ(cache.buildCount(w.name), 0u);
     EXPECT_GE(cache.stats().fallbacks, 1u);
-    // Streaming mode reports no separate trace-build time.
-    EXPECT_EQ(fallen_back.traceBuildSeconds, 0.0);
+    // The fallback streams, and streaming meters the emulator's
+    // interleaved cost as trace-build time.
+    EXPECT_GT(fallen_back.traceBuildSeconds, 0.0);
+    EXPECT_EQ(fallen_back.wallSeconds,
+              fallen_back.traceBuildSeconds + fallen_back.simSeconds);
 }
 
 TEST(SimulateWithCache, ConcurrentSweepEmulatesEachWorkloadOnce)
@@ -434,6 +439,10 @@ TEST(SimulateWithCache, ConcurrentSweepEmulatesEachWorkloadOnce)
 
     auto cached_options = quick();
     cached_options.traceCache = &cache;
+    // Lockstep grouping would collapse the per-workload jobs into one
+    // acquire each; this test is about the cache's build-once contract
+    // under raw contention, so keep every job independent.
+    cached_options.lockstep = false;
     std::vector<sim::ExperimentJob> jobs;
     for (const auto &params : configs) {
         for (const auto &w : mini)
