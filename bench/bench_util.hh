@@ -18,6 +18,16 @@
  *                     way — lockstep=0 is for A/B wall-time runs)
  *   lockstep_group=N  cap lockstep groups at N pipeline lanes
  *                     (default 0 = unbounded)
+ *   regfile=NAME[,NAME...]
+ *                     register-file backend selection. A single name
+ *                     re-runs the harness with that registered backend
+ *                     substituted into every configuration (labels and
+ *                     the JSON report gain a " [regfile=NAME]" suffix
+ *                     so the output cannot be mistaken for the stock
+ *                     run). Harnesses that sweep the whole backend zoo
+ *                     (compare_backends) accept a comma-separated list
+ *                     to restrict the sweep. Unknown names are fatal,
+ *                     listing what is registered.
  *
  * Tables printed through printTable() and suite runs executed through
  * BenchArgs::runSuite() are also captured into a machine-readable
@@ -40,6 +50,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "emu/trace_cache.hh"
+#include "regfile/registry.hh"
 #include "sim/experiment_runner.hh"
 #include "sim/experiments.hh"
 #include "sim/reporting.hh"
@@ -131,6 +142,17 @@ struct BenchArgs
      * sweep over it. Owned here; options.traceCache points at it.
      */
     std::shared_ptr<emu::TraceCache> traceCache;
+    /**
+     * Backends named by the regfile= key, registry-validated, in
+     * argument order; empty when the key is absent (stock run).
+     */
+    std::vector<std::string> regfileOverrides;
+    /**
+     * Set once backendConfigs() consumes the regfile= selection; the
+     * generic per-suite override then stands down so a sweep harness
+     * does not apply the list twice.
+     */
+    mutable bool regfileOverrideConsumed = false;
     mutable BenchReport report;
 
     static BenchArgs
@@ -156,25 +178,86 @@ struct BenchArgs
         args.options.lockstep = args.config.getBool("lockstep", true);
         args.options.lockstepMaxGroup = static_cast<unsigned>(
             args.config.getU64("lockstep_group", 0));
+        std::string regfile = args.config.getString("regfile", "");
+        for (size_t start = 0; start < regfile.size();) {
+            size_t comma = regfile.find(',', start);
+            if (comma == std::string::npos)
+                comma = regfile.size();
+            std::string name = regfile.substr(start, comma - start);
+            if (!name.empty()) {
+                regfile::registry().at(name); // fatal on unknown names
+                args.regfileOverrides.push_back(name);
+            }
+            start = comma + 1;
+        }
         args.report.begin(bench_name, args.runner.jobs(),
                           args.options.maxInsts);
         return args;
     }
 
     /**
+     * Apply the regfile= override to @p params: a single named
+     * backend replaces the configuration's model, everything else
+     * (timing knobs, ports, sub-file geometry) untouched. Harnesses
+     * that run fixed configurations take at most one override name;
+     * lists are reserved for backendConfigs() sweeps.
+     */
+    core::CoreParams
+    applyRegfileOverride(core::CoreParams params) const
+    {
+        if (regfileOverrides.empty() || regfileOverrideConsumed)
+            return params;
+        if (regfileOverrides.size() > 1)
+            fatal("regfile=: this harness runs fixed configurations "
+                  "and takes a single backend name, not a list");
+        params.regFileBackend = regfileOverrides[0];
+        return params;
+    }
+
+    /** Label decoration matching applyRegfileOverride(). */
+    std::string
+    decorateLabel(const std::string &label) const
+    {
+        if (regfileOverrides.empty() || regfileOverrideConsumed)
+            return label;
+        return label + " [regfile=" + regfileOverrides[0] + "]";
+    }
+
+    /**
+     * One labelled configuration per selected backend — the
+     * comma-separated regfile= list, or every registered backend when
+     * the key is absent — each built by CoreParams::forBackend() so
+     * the label is exactly the registry name.
+     */
+    std::vector<std::pair<std::string, core::CoreParams>>
+    backendConfigs() const
+    {
+        std::vector<std::string> names = regfileOverrides;
+        regfileOverrideConsumed = true;
+        if (names.empty())
+            names = regfile::registry().names();
+        std::vector<std::pair<std::string, core::CoreParams>> configs;
+        configs.reserve(names.size());
+        for (const std::string &name : names)
+            configs.emplace_back(name, core::CoreParams::forBackend(name));
+        return configs;
+    }
+
+    /**
      * Run @p suite under @p params on the shared worker pool and
      * record the per-workload results into the JSON report under
      * @p label. Result order (and every table derived from it) is
-     * independent of the jobs= setting.
+     * independent of the jobs= setting. The regfile= override, when
+     * present, swaps the backend and decorates the label.
      */
     sim::SuiteRun
     runSuite(const std::vector<workloads::Workload> &suite,
              const core::CoreParams &params,
              const std::string &label) const
     {
+        std::string tag = decorateLabel(label);
         sim::ExperimentRunner::ProgressFn fn;
         if (progress) {
-            std::string tag = label;
             fn = [tag](const sim::ExperimentProgress &p) {
                 inform("[%s] %zu/%zu %s (%.2fs)", tag.c_str(),
                        p.completed, p.total,
@@ -182,8 +265,9 @@ struct BenchArgs
                        p.result.wallSeconds);
             };
         }
-        auto run = sim::runSuite(suite, params, options, runner, fn);
-        report.addSuite(label, run);
+        auto run = sim::runSuite(suite, applyRegfileOverride(params),
+                                 options, runner, fn);
+        report.addSuite(tag, run);
         return run;
     }
 
@@ -202,9 +286,12 @@ struct BenchArgs
     {
         std::vector<sim::ExperimentJob> batch;
         batch.reserve(suite.size() * configs.size());
-        for (const auto &[label, params] : configs)
+        for (const auto &[label, params] : configs) {
+            core::CoreParams effective = applyRegfileOverride(params);
             for (const auto &w : suite)
-                batch.push_back({w, params, options, label, nullptr});
+                batch.push_back({w, effective, options,
+                                 decorateLabel(label), nullptr});
+        }
 
         sim::ExperimentRunner::ProgressFn fn;
         if (progress) {
@@ -224,7 +311,7 @@ struct BenchArgs
             runs[c].results.assign(first,
                                    first + static_cast<long>(
                                                suite.size()));
-            report.addSuite(configs[c].first, runs[c]);
+            report.addSuite(decorateLabel(configs[c].first), runs[c]);
         }
         return runs;
     }

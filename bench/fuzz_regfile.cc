@@ -2,8 +2,9 @@
  * @file
  * Long-running register-file fuzz driver for nightly CI.
  *
- * Runs seeded fuzz rounds over the four standard register-file
- * configurations on the ExperimentRunner worker pool — one seed
+ * Runs seeded fuzz rounds over every registered register-file backend
+ * (plus the content-aware ablation variants) on the ExperimentRunner
+ * worker pool — one seed
  * stream per task, fully deterministic given seed= — until a
  * wall-time budget expires or a counterexample is found. On failure
  * the shrunk counterexample is written as a seed file and the driver
@@ -91,8 +92,7 @@ main(int argc, char **argv)
                 warn("cannot write failing seed: %s", error.c_str());
             std::printf("FAIL seed %llu (%s): op %zu (%s): %s\n",
                         (unsigned long long)seeds[i],
-                        testing::fuzzFileKindName(
-                            results[i].shrunk.config.fileKind),
+                        results[i].shrunk.config.backend.c_str(),
                         failure.opIndex, fuzzOpName(failure.op.kind),
                         failure.message.c_str());
             std::printf("shrunk to %zu ops -> %s\n",

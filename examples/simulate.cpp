@@ -8,6 +8,7 @@
  *   simulate workload=pointer_chase config=ca insts=1000000
  *   simulate workload=crc config=baseline ff=500000 insts=500000
  *   simulate workload=graph_walk config=ca dplusn=24 k=56 oracle=16
+ *   simulate workload=crc config=port-reduction shared_read_ports=3
  *   simulate workload=daxpy record=/tmp/daxpy.carftrc insts=200000
  *   simulate replay=/tmp/daxpy.carftrc config=ca
  *   simulate workload=counters smt_with=crc config=ca
@@ -21,6 +22,7 @@
 #include "core/smt.hh"
 #include "emu/trace_file.hh"
 #include "energy/report.hh"
+#include "regfile/registry.hh"
 #include "sim/reporting.hh"
 #include "sim/simulator.hh"
 
@@ -51,9 +53,17 @@ paramsFromConfig(const Config &config)
             config.getU64("stall_threshold", params.issueWidth));
         params.extraBypassLevel =
             config.getBool("extra_bypass", true);
+    } else if (kind == "port-reduction") {
+        params = core::CoreParams::portReduction(static_cast<unsigned>(
+            config.getU64("shared_read_ports", 4)));
+    } else if (regfile::registry().find(kind)) {
+        // Any other registered backend runs with baseline timing.
+        params = core::CoreParams::forBackend(kind);
     } else {
-        fatal("unknown config '%s' (unlimited|baseline|ca)",
-              kind.c_str());
+        std::string names;
+        for (const std::string &name : regfile::registry().names())
+            names += (names.empty() ? "" : "|") + name;
+        fatal("unknown config '%s' (%s)", kind.c_str(), names.c_str());
     }
     params.physIntRegs = static_cast<unsigned>(
         config.getU64("int_regs", params.physIntRegs));
@@ -86,20 +96,21 @@ printResult(const core::RunResult &result,
                 (unsigned long long)counts.writes[0],
                 (unsigned long long)counts.writes[1],
                 (unsigned long long)counts.writes[2]);
-    if (params.regFileKind == core::RegFileKind::ContentAware) {
+    auto rf = regfile::makeRegFile(params.regFileBackend,
+                                   params.regFileParams(), "report");
+    if (rf->hasValueTaxonomy()) {
         std::printf("  long stalls %llu, recoveries %llu, avg live "
                     "long %.1f, avg live short %.1f\n",
                     (unsigned long long)result.longAllocStalls,
                     (unsigned long long)result.recoveries,
                     result.avgLiveLong, result.avgLiveShort);
         energy::RixnerModel model;
-        auto geom = energy::caGeometry(params.physIntRegs, params.ca);
-        double ca_energy = energy::contentAwareEnergy(
-            model, geom, counts, result.shortFileWrites);
+        double rf_energy = energy::modelEnergy(
+            model, rf->energyTerms(counts, result.shortFileWrites));
         double base_energy = energy::conventionalEnergy(
             model, energy::baselineGeometry(), counts);
         std::printf("  RF energy vs same-traffic baseline file: "
-                    "%.1f%%\n", 100.0 * ca_energy / base_energy);
+                    "%.1f%%\n", 100.0 * rf_energy / base_energy);
     }
 }
 

@@ -117,6 +117,11 @@ struct RunResult
     double avgLiveLong = 0.0;
     double avgLiveShort = 0.0;
 
+    /** Model-level read-port refusals (port-reduction backends). */
+    u64 portConflictOps = 0;
+    /** Cycles with at least one model-level read-port refusal. */
+    u64 portConflictCycles = 0;
+
     /**
      * Host wall-clock seconds this run took end to end. Always equals
      * traceBuildSeconds + simSeconds. Like the other host-time fields

@@ -7,13 +7,21 @@
 #ifndef CARF_CORE_PARAMS_HH
 #define CARF_CORE_PARAMS_HH
 
+#include <string>
+
 #include "mem/hierarchy.hh"
-#include "regfile/content_aware.hh"
+#include "regfile/registry.hh"
 
 namespace carf::core
 {
 
-/** Which integer register file organization the core models. */
+/**
+ * Compatibility shim over registry names: the three organizations the
+ * paper compares, for code that predates the backend registry. New
+ * code selects a backend by its registered name (CoreParams::
+ * regFileBackend); the enum maps one-to-one onto three of those names
+ * via regFileKindName().
+ */
 enum class RegFileKind
 {
     /** 160 registers, 16R/8W: effectively unconstrained. */
@@ -24,6 +32,7 @@ enum class RegFileKind
     ContentAware,
 };
 
+/** Registry name of the backend @p kind stands for. */
 const char *regFileKindName(RegFileKind kind);
 
 /** All timing parameters of the out-of-order core. */
@@ -72,8 +81,27 @@ struct CoreParams
     size_t btbEntries = 2048;
     size_t rasDepth = 16;
 
-    RegFileKind regFileKind = RegFileKind::Baseline;
+    /**
+     * Integer register-file backend, by registry name (see
+     * regfile::registry()). Any registered backend is valid here; the
+     * core instantiates it through the factory, so experimental
+     * organizations need no pipeline changes.
+     */
+    std::string regFileBackend = "baseline";
     regfile::ContentAwareParams ca;
+    regfile::PortReductionParams portRed;
+
+    /** Bundle the backend-construction parameters for the factory. */
+    regfile::RegFileParams regFileParams() const
+    {
+        regfile::RegFileParams p;
+        p.entries = physIntRegs;
+        p.readPorts = intRfReadPorts;
+        p.writePorts = intRfWritePorts;
+        p.ca = ca;
+        p.portRed = portRed;
+        return p;
+    }
 
     mem::HierarchyParams memory;
 
@@ -102,6 +130,16 @@ struct CoreParams
     static CoreParams baseline();
     static CoreParams contentAware(unsigned d_plus_n = 20, unsigned n = 3,
                                    unsigned long_entries = 48);
+    /** Baseline core timing over the port-reduction backend. */
+    static CoreParams portReduction(unsigned shared_read_ports = 4);
+
+    /**
+     * Canonical core configuration for a registry backend name: the
+     * matching paper configuration for the three legacy names, and
+     * baseline core timing with regFileBackend set for anything else
+     * (so newly registered backends are benchable by name alone).
+     */
+    static CoreParams forBackend(const std::string &name);
 };
 
 } // namespace carf::core

@@ -6,7 +6,7 @@
 
 #include "common/logging.hh"
 #include "regfile/baseline.hh"
-#include "regfile/content_aware.hh"
+#include "regfile/registry.hh"
 
 namespace carf::core
 {
@@ -68,20 +68,8 @@ Pipeline::Pipeline(const CoreParams &params)
     if (params_.intRfReadPorts < 2 || params_.fpRfReadPorts < 2)
         fatal("Pipeline: at least 2 read ports per register file "
               "are required");
-    switch (params_.regFileKind) {
-      case RegFileKind::Unlimited:
-      case RegFileKind::Baseline:
-        intRf_ = std::make_unique<regfile::BaselineRegFile>(
-            "intRf", params_.physIntRegs);
-        break;
-      case RegFileKind::ContentAware: {
-        auto ca = std::make_unique<regfile::ContentAwareRegFile>(
-            "intRf", params_.physIntRegs, params_.ca);
-        caRf_ = ca.get();
-        intRf_ = std::move(ca);
-        break;
-      }
-    }
+    intRf_ = regfile::makeRegFile(params_.regFileBackend,
+                                  params_.regFileParams(), "intRf");
     fpRf_ = std::make_unique<regfile::BaselineRegFile>(
         "fpRf", params_.physFpRegs);
 
@@ -213,7 +201,7 @@ Pipeline::tryWriteback(InFlightInst &inst, Cycle cur,
         // Long file exhausted. If this is the ROB head nothing
         // can free an entry: pseudo-deadlock recovery (§3.2).
         if (&inst == &rob_.head()) {
-            access = caRf_->writeForced(inst.destTag, inst.op.rdValue);
+            access = intRf_->writeForced(inst.destTag, inst.op.rdValue);
         } else {
             inst.wbStalledOnLong = true;
             return false; // port not consumed; retry next cycle
@@ -400,6 +388,11 @@ Pipeline::doIssue(Cycle cur)
         count_port(s2, so2);
         if (need_int_rd > int_read_ports || need_fp_rd > fp_read_ports)
             continue;
+        // The model may impose its own per-cycle port limit below the
+        // core's (port-reduction backends); a refusal is a conflict
+        // stall and the instruction retries next cycle.
+        if (need_int_rd != 0 && !intRf_->canServeReads(need_int_rd))
+            continue;
 
         Cycle latency = inst.op.info().latency;
         if (is_load) {
@@ -428,6 +421,8 @@ Pipeline::doIssue(Cycle cur)
             --mem_ports;
         int_read_ports -= need_int_rd;
         fp_read_ports -= need_fp_rd;
+        if (need_int_rd != 0)
+            intRf_->consumeReadPorts(need_int_rd);
 
         inst.state = InstState::Issued;
         inst.issueCycle = cur;
@@ -474,10 +469,10 @@ Pipeline::doIssue(Cycle cur)
         // Table 4: source operand type mix over integer operands,
         // and the §6 clustering estimate (steer by result type; a
         // source of another type crosses clusters).
-        if (caRf_) {
+        if (intRf_->hasValueTaxonomy()) {
             bool has_simple = false, has_short = false, has_long = false;
             auto type_of = [&](const SourceView &s) {
-                return caRf_->classifyPeek(s.value);
+                return intRf_->classifyPeek(s.value);
             };
             auto mix_src = [&](const SourceView &s) {
                 if (!s.used || s.isFp)
@@ -715,7 +710,7 @@ Pipeline::finishWarmUp(const WarmupScratch &scratch)
             regfile::WriteAccess access =
                 intRf_->write(tag, scratch.intVals[r]);
             if (access.stalled)
-                caRf_->writeForced(tag, scratch.intVals[r]);
+                intRf_->writeForced(tag, scratch.intVals[r]);
         }
         if (scratch.fpSet[r]) {
             u32 tag = fpMap_.lookup(r);
@@ -734,7 +729,7 @@ Pipeline::beginRun(const std::string &workload_name,
 {
     result_ = RunResult{};
     result_.workload = workload_name;
-    result_.config = regFileKindName(params_.regFileKind);
+    result_.config = params_.regFileBackend;
     observer_ = observer;
     cycle_ = 0;
     lastCommitCount_ = 0;
@@ -747,6 +742,7 @@ void
 Pipeline::stepCycle(FetchStream &stream)
 {
     Cycle cur = cycle_;
+    intRf_->beginCycle();
     doCommit(cur);
     doWriteback(cur);
     doIssue(cur);
@@ -757,11 +753,9 @@ Pipeline::stepCycle(FetchStream &stream)
         cur % params_.oracleSamplePeriod == 0) {
         observer_->sampleCycle(cur, *intRf_);
     }
-    if (caRf_) {
-        liveLong_.sample(caRf_->params().longEntries -
-                         caRf_->freeLongEntries());
-        liveShort_.sample(caRf_->liveShortEntries());
-    }
+    regfile::RegisterFile::Occupancy occ = intRf_->occupancy();
+    liveLong_.sample(occ.liveLong);
+    liveShort_.sample(occ.liveShort);
 
     if (result_.committedInsts != lastCommitCount_) {
         lastCommitCount_ = result_.committedInsts;
@@ -805,13 +799,14 @@ Pipeline::finishRun()
                                cycle_
                          : 0.0;
     result_.intRfAccesses = intRf_->accessCounts();
-    if (caRf_) {
-        result_.shortFileWrites = caRf_->shortFile().allocations();
-        result_.longAllocStalls = caRf_->longAllocStalls();
-        result_.recoveries = caRf_->recoveries();
-        result_.avgLiveLong = liveLong_.mean();
-        result_.avgLiveShort = liveShort_.mean();
-    }
+    result_.shortFileWrites = intRf_->shortAllocWrites();
+    result_.longAllocStalls = intRf_->writeStalls();
+    result_.recoveries = intRf_->recoveries();
+    result_.avgLiveLong = liveLong_.mean();
+    result_.avgLiveShort = liveShort_.mean();
+    regfile::RegisterFile::PortStats ps = intRf_->portStats();
+    result_.portConflictOps = ps.conflictOps;
+    result_.portConflictCycles = ps.conflictCycles;
     observer_ = nullptr;
     return result_;
 }

@@ -233,7 +233,6 @@ class Pipeline
 
     std::unique_ptr<regfile::RegisterFile> intRf_;
     std::unique_ptr<regfile::RegisterFile> fpRf_;
-    regfile::ContentAwareRegFile *caRf_ = nullptr; //!< non-owning view
 
     RenameMap intMap_;
     RenameMap fpMap_;

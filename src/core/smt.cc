@@ -4,7 +4,7 @@
 
 #include "common/logging.hh"
 #include "regfile/baseline.hh"
-#include "regfile/content_aware.hh"
+#include "regfile/registry.hh"
 
 namespace carf::core
 {
@@ -48,20 +48,8 @@ SmtPipeline::SmtPipeline(const CoreParams &params, unsigned num_threads)
     if (params_.intRfReadPorts < 2 || params_.fpRfReadPorts < 2)
         fatal("SmtPipeline: at least 2 read ports are required");
 
-    switch (params_.regFileKind) {
-      case RegFileKind::Unlimited:
-      case RegFileKind::Baseline:
-        intRf_ = std::make_unique<regfile::BaselineRegFile>(
-            "intRf", params_.physIntRegs);
-        break;
-      case RegFileKind::ContentAware: {
-        auto ca = std::make_unique<regfile::ContentAwareRegFile>(
-            "intRf", params_.physIntRegs, params_.ca);
-        caRf_ = ca.get();
-        intRf_ = std::move(ca);
-        break;
-      }
-    }
+    intRf_ = regfile::makeRegFile(params_.regFileBackend,
+                                  params_.regFileParams(), "intRf");
     fpRf_ = std::make_unique<regfile::BaselineRegFile>(
         "fpRf", params_.physFpRegs);
 
@@ -218,8 +206,8 @@ SmtPipeline::doWriteback(Cycle cur)
                 intRf_->write(inst.destTag, inst.op.rdValue);
             if (access.stalled) {
                 if (&inst == &thread.rob->head()) {
-                    access = caRf_->writeForced(inst.destTag,
-                                                inst.op.rdValue);
+                    access = intRf_->writeForced(inst.destTag,
+                                                 inst.op.rdValue);
                 } else {
                     inst.wbStalledOnLong = true;
                     continue;
@@ -309,6 +297,9 @@ SmtPipeline::tryIssueOne(Cycle cur, unsigned tid, InFlightInst &inst,
     count_port(s2, so2);
     if (need_int_rd > int_rd || need_fp_rd > fp_rd)
         return false;
+    // Model-level per-cycle port limit (port-reduction backends).
+    if (need_int_rd != 0 && !intRf_->canServeReads(need_int_rd))
+        return false;
 
     Cycle latency = inst.op.info().latency;
     if (is_load) {
@@ -335,6 +326,8 @@ SmtPipeline::tryIssueOne(Cycle cur, unsigned tid, InFlightInst &inst,
         --mem_ports;
     int_rd -= need_int_rd;
     fp_rd -= need_fp_rd;
+    if (need_int_rd != 0)
+        intRf_->consumeReadPorts(need_int_rd);
 
     inst.state = InstState::Issued;
     inst.issueCycle = cur;
@@ -578,8 +571,7 @@ SmtPipeline::run(std::vector<emu::TraceSource *> sources,
     for (unsigned t = 0; t < numThreads_; ++t) {
         threads_[t].source = sources[t];
         threads_[t].result.workload = sources[t]->name();
-        threads_[t].result.config =
-            regFileKindName(params_.regFileKind);
+        threads_[t].result.config = params_.regFileBackend;
     }
 
     Cycle cur = 0;
@@ -597,6 +589,7 @@ SmtPipeline::run(std::vector<emu::TraceSource *> sources,
     };
 
     while (!should_stop()) {
+        intRf_->beginCycle();
         doCommit(cur);
         doWriteback(cur);
         doIssue(cur);
@@ -627,11 +620,9 @@ SmtPipeline::run(std::vector<emu::TraceSource *> sources,
                 : 0.0;
         result.threads.push_back(thread.result);
     }
-    if (caRf_) {
-        for (auto &t : result.threads) {
-            t.longAllocStalls = caRf_->longAllocStalls();
-            t.recoveries = caRf_->recoveries();
-        }
+    for (auto &t : result.threads) {
+        t.longAllocStalls = intRf_->writeStalls();
+        t.recoveries = intRf_->recoveries();
     }
     // Shared-file access counts land on the first thread's record.
     if (!result.threads.empty())

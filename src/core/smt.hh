@@ -187,7 +187,6 @@ class SmtPipeline
 
     std::unique_ptr<regfile::RegisterFile> intRf_;
     std::unique_ptr<regfile::RegisterFile> fpRf_;
-    regfile::ContentAwareRegFile *caRf_ = nullptr;
 
     FreeList intFreeList_;
     FreeList fpFreeList_;

@@ -41,6 +41,46 @@ caMaxAccessTime(const RixnerModel &model, const CaGeometry &g)
                      model.accessTime(g.longFile)});
 }
 
+RegFileGeometry
+bankGeometry(const regfile::BankGeometry &bank)
+{
+    return {bank.entries, bank.widthBits, bank.readPorts,
+            bank.writePorts};
+}
+
+double
+modelArea(const RixnerModel &model,
+          const std::vector<regfile::BankGeometry> &banks)
+{
+    double area = 0.0;
+    for (const regfile::BankGeometry &bank : banks)
+        area += model.area(bankGeometry(bank));
+    return area;
+}
+
+double
+modelMaxAccessTime(const RixnerModel &model,
+                   const std::vector<regfile::BankGeometry> &banks)
+{
+    double worst = 0.0;
+    for (const regfile::BankGeometry &bank : banks)
+        worst = std::max(worst, model.accessTime(bankGeometry(bank)));
+    return worst;
+}
+
+double
+modelEnergy(const RixnerModel &model,
+            const std::vector<regfile::EnergyTerm> &terms)
+{
+    double energy = 0.0;
+    for (const regfile::EnergyTerm &t : terms) {
+        RegFileGeometry g = bankGeometry(t.bank);
+        energy += t.accesses *
+                  (t.isWrite ? model.writeEnergy(g) : model.readEnergy(g));
+    }
+    return energy;
+}
+
 double
 conventionalEnergy(const RixnerModel &model, const RegFileGeometry &g,
                    const regfile::AccessCounts &counts)

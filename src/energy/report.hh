@@ -54,6 +54,30 @@ double conventionalEnergy(const RixnerModel &model,
                           const RegFileGeometry &g,
                           const regfile::AccessCounts &counts);
 
+// --- model-hook evaluation (any registered backend) ---
+//
+// These evaluate a RegFileModel's banks()/energyTerms() hooks against
+// the Rixner model, so callers need no knowledge of the backend's
+// internal organization. For the built-in backends the results are
+// bit-identical to the legacy helpers above: banks() mirrors
+// caGeometry()/the flat geometry, terms are summed in the same order,
+// and each term is the same count-times-energy product.
+
+/** Rixner geometry of one model bank. */
+RegFileGeometry bankGeometry(const regfile::BankGeometry &bank);
+
+/** Total area of a model's banks (ordered sum). */
+double modelArea(const RixnerModel &model,
+                 const std::vector<regfile::BankGeometry> &banks);
+
+/** Slowest bank access time (sets the register read stage). */
+double modelMaxAccessTime(const RixnerModel &model,
+                          const std::vector<regfile::BankGeometry> &banks);
+
+/** Total energy of a run: the model's ordered energy terms. */
+double modelEnergy(const RixnerModel &model,
+                   const std::vector<regfile::EnergyTerm> &terms);
+
 /**
  * Total register file energy of a run on the content-aware file.
  * Every read/write touches the Simple file; short/long-typed

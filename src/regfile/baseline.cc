@@ -2,9 +2,39 @@
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "regfile/registry.hh"
 
 namespace carf::regfile
 {
+
+namespace
+{
+
+std::unique_ptr<RegisterFile>
+makeFlat(const std::string &instance, const RegFileParams &params)
+{
+    auto file = std::make_unique<BaselineRegFile>(instance, params.entries);
+    file->setPortGeometry(params.readPorts, params.writePorts);
+    return file;
+}
+
+} // namespace
+
+namespace detail
+{
+
+void
+registerFlatBackends(Registry &r)
+{
+    r.add("baseline",
+          "conventional flat 64-bit file (paper baseline geometry)",
+          makeFlat);
+    r.add("unlimited",
+          "conventional flat file sized/ported to never constrain issue",
+          makeFlat);
+}
+
+} // namespace detail
 
 BaselineRegFile::BaselineRegFile(std::string name, unsigned entries)
     : RegisterFile(std::move(name), entries), file_(entries)

@@ -2,9 +2,28 @@
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "regfile/registry.hh"
 
 namespace carf::regfile
 {
+
+namespace detail
+{
+
+void
+registerContentAwareBackend(Registry &r)
+{
+    r.add("content-aware",
+          "three-sub-file content-aware organization (paper section 3)",
+          [](const std::string &instance, const RegFileParams &params) {
+              auto file = std::make_unique<ContentAwareRegFile>(
+                  instance, params.entries, params.ca);
+              file->setPortGeometry(params.readPorts, params.writePorts);
+              return std::unique_ptr<RegisterFile>(std::move(file));
+          });
+}
+
+} // namespace detail
 
 unsigned
 ContentAwareParams::longPointerBits() const
@@ -328,6 +347,72 @@ ContentAwareRegFile::checkInvariants() const
                          name_.c_str(), freeLong_.size(),
                          live_real_long, params_.longEntries);
     return "";
+}
+
+RegisterFile::StructureCounts
+ContentAwareRegFile::structureCounts() const
+{
+    StructureCounts sc;
+    sc.shortRefCounts.reserve(shortFile_.entries());
+    for (unsigned i = 0; i < shortFile_.entries(); ++i)
+        sc.shortRefCounts.push_back(shortFile_.refCount(i));
+    sc.freeLong = freeLongEntries();
+    sc.liveLong = liveLongEntries();
+    sc.hasLongFile = true;
+    return sc;
+}
+
+std::vector<BankGeometry>
+ContentAwareRegFile::banks() const
+{
+    const SimilarityParams &sim = params_.sim;
+    // Mirrors energy::caGeometry(): Simple holds the 2-bit RD field
+    // plus the d+n-bit value field per tag; Short gets one extra read
+    // port per core write port (WR1 compares) and two write ports
+    // (the address-allocation path); Long is K entries of 64-d-n+m
+    // bits.
+    return {
+        {"simple", entries_, sim.simpleFieldBits() + 2, readPorts_,
+         writePorts_},
+        {"short", sim.shortEntries(), sim.shortEntryBits(),
+         readPorts_ + writePorts_, 2},
+        {"long", params_.longEntries, params_.longEntryBits(), readPorts_,
+         writePorts_},
+    };
+}
+
+std::vector<EnergyTerm>
+ContentAwareRegFile::energyTerms(const AccessCounts &counts,
+                                 u64 short_alloc_writes) const
+{
+    auto idx = [](ValueType t) { return static_cast<unsigned>(t); };
+    std::vector<BankGeometry> b = banks();
+    const BankGeometry &simple = b[0];
+    const BankGeometry &shortBank = b[1];
+    const BankGeometry &longBank = b[2];
+    // Same accounting, same order as energy::contentAwareEnergy().
+    return {
+        // Every architectural read first reads the Simple entry (RF1).
+        {simple, counts.totalReads(), false},
+        // RF2 touches the typed sub-file for short/long values.
+        {shortBank, counts.reads[idx(ValueType::Short)], false},
+        {longBank, counts.reads[idx(ValueType::Long)], false},
+        // Every writeback writes the Simple entry (RD + value field).
+        {simple, counts.totalWrites(), true},
+        // Long-typed writebacks write the Long file.
+        {longBank, counts.writes[idx(ValueType::Long)], true},
+        // WR1 classification probes read the Short file.
+        {shortBank, counts.shortProbeReads, false},
+        // Address-path allocations write the Short file.
+        {shortBank, short_alloc_writes, true},
+    };
+}
+
+std::string
+ContentAwareRegFile::describeExtra() const
+{
+    return strprintf(", d+n=%u, M=%u, K=%u", params_.sim.simpleFieldBits(),
+                     params_.sim.shortEntries(), params_.longEntries);
 }
 
 ValueType

@@ -73,13 +73,16 @@ class ContentAwareRegFile : public RegisterFile
      * this when the ROB head cannot write back for lack of a free
      * Long entry and no commit can make progress.
      */
-    WriteAccess writeForced(u32 tag, u64 value);
+    WriteAccess writeForced(u32 tag, u64 value) override;
 
     /** Classify @p value against current state, with no side effects. */
-    ValueType classifyPeek(u64 value) const
+    ValueType classifyPeek(u64 value) const override
     {
         return classifyValue(value, params_.sim, shortFile_);
     }
+
+    /** The taxonomy here is the model: drive the operand-mix stats. */
+    bool hasValueTaxonomy() const override { return true; }
 
     unsigned freeLongEntries() const
     {
@@ -105,7 +108,26 @@ class ContentAwareRegFile : public RegisterFile
      * 0 for Simple). Debug/testing visibility for the shadow oracle's
      * reference-count model; counts no access.
      */
-    unsigned peekSubIndex(u32 tag) const { return file_.at(tag).subIndex; }
+    unsigned peekSubIndex(u32 tag) const override
+    {
+        return file_.at(tag).subIndex;
+    }
+
+    Occupancy occupancy() const override
+    {
+        return {params_.longEntries - freeLongEntries(),
+                liveShortEntries()};
+    }
+    u64 shortAllocWrites() const override { return shortFile_.allocations(); }
+    u64 writeStalls() const override { return longAllocStalls_.value(); }
+    u64 recoveries() const override { return recoveries_.value(); }
+
+    std::vector<BankGeometry> banks() const override;
+    std::vector<EnergyTerm>
+    energyTerms(const AccessCounts &counts,
+                u64 short_alloc_writes) const override;
+
+    std::string describeExtra() const override;
 
     /**
      * Structural self-check (debug/testing): empty string when every
@@ -122,7 +144,16 @@ class ContentAwareRegFile : public RegisterFile
      *    free + live real Long entries account for exactly K;
      *  - every value field fits its configured bit width.
      */
-    std::string checkInvariants() const;
+    std::string checkInvariants() const override;
+
+    StructureCounts structureCounts() const override;
+
+    /** Leak a Short slot reference keyed by @p selector (tests only). */
+    void debugInjectFault(u64 selector) override
+    {
+        shortFile_.addRef(static_cast<unsigned>(
+            selector % params_.sim.shortEntries()));
+    }
 
     /**
      * Mutable Short-file access for fault-injection tests ONLY: lets a
@@ -132,7 +163,6 @@ class ContentAwareRegFile : public RegisterFile
     ShortFile &debugShortFile() { return shortFile_; }
 
     u64 longAllocStalls() const { return longAllocStalls_.value(); }
-    u64 recoveries() const { return recoveries_.value(); }
 
   private:
     struct Entry

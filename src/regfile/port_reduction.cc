@@ -1,0 +1,119 @@
+#include "regfile/port_reduction.hh"
+
+#include "common/logging.hh"
+#include "regfile/registry.hh"
+
+namespace carf::regfile
+{
+
+namespace detail
+{
+
+void
+registerPortReductionBackend(Registry &r)
+{
+    r.add("port-reduction",
+          "flat file with a reduced shared read-port pool (Los scheme)",
+          [](const std::string &instance, const RegFileParams &params) {
+              auto file = std::make_unique<PortReductionRegFile>(
+                  instance, params.entries, params.portRed);
+              file->setPortGeometry(params.readPorts, params.writePorts);
+              return std::unique_ptr<RegisterFile>(std::move(file));
+          });
+}
+
+} // namespace detail
+
+void
+PortReductionParams::validate() const
+{
+    // An instruction may need one file read per source operand in a
+    // single cycle; fewer than two shared ports would deadlock
+    // two-source consumers of non-bypassable operands.
+    if (sharedReadPorts < 2)
+        fatal("PortReductionParams: need at least 2 shared read ports");
+}
+
+PortReductionRegFile::PortReductionRegFile(std::string name,
+                                           unsigned entries,
+                                           const PortReductionParams &params)
+    : BaselineRegFile(std::move(name), entries),
+      params_(params),
+      conflictOps_(stats_.addCounter("portConflictOps",
+          "issue attempts refused for lack of shared read ports")),
+      conflictCycles_(stats_.addCounter("portConflictCycles",
+          "cycles with at least one read-port refusal"))
+{
+    params_.validate();
+}
+
+void
+PortReductionRegFile::reset()
+{
+    BaselineRegFile::reset();
+    usedReadPorts_ = 0;
+    conflictThisCycle_ = false;
+}
+
+void
+PortReductionRegFile::beginCycle()
+{
+    usedReadPorts_ = 0;
+    conflictThisCycle_ = false;
+}
+
+bool
+PortReductionRegFile::canServeReads(unsigned n)
+{
+    if (usedReadPorts_ + n <= params_.sharedReadPorts)
+        return true;
+    ++conflictOps_;
+    if (!conflictThisCycle_) {
+        conflictThisCycle_ = true;
+        ++conflictCycles_;
+    }
+    return false;
+}
+
+void
+PortReductionRegFile::consumeReadPorts(unsigned n)
+{
+    if (usedReadPorts_ + n > params_.sharedReadPorts) {
+        panic("%s: %u reads consumed past the %u shared ports",
+              name_.c_str(), usedReadPorts_ + n, params_.sharedReadPorts);
+    }
+    usedReadPorts_ += n;
+}
+
+RegisterFile::PortStats
+PortReductionRegFile::portStats() const
+{
+    return {conflictOps_.value(), conflictCycles_.value()};
+}
+
+std::string
+PortReductionRegFile::checkInvariants() const
+{
+    if (usedReadPorts_ > params_.sharedReadPorts) {
+        return strprintf("%s: %u read ports in use exceeds pool of %u",
+                         name_.c_str(), usedReadPorts_,
+                         params_.sharedReadPorts);
+    }
+    return "";
+}
+
+std::vector<BankGeometry>
+PortReductionRegFile::banks() const
+{
+    // The whole point: the array is built with the reduced read-port
+    // pool, which enters the area model quadratically.
+    return {{"file", entries_, 64, params_.sharedReadPorts, writePorts_}};
+}
+
+std::string
+PortReductionRegFile::describeExtra() const
+{
+    return strprintf(", shared-rd=%u", params_.sharedReadPorts);
+}
+
+} // namespace carf::regfile

@@ -1,5 +1,7 @@
 #include "regfile/regfile.hh"
 
+#include "common/bitutil.hh"
+
 namespace carf::regfile
 {
 
@@ -13,6 +15,32 @@ RegisterFile::reset()
 {
     counts_ = AccessCounts{};
     stats_.resetAll();
+}
+
+ValueType
+RegisterFile::classifyPeek(u64 value) const
+{
+    // Without a Short file the taxonomy degenerates to simple/long;
+    // use a 20-bit field (the paper's chosen d+n) for reporting.
+    return fitsSigned(value, 20) ? ValueType::Simple : ValueType::Long;
+}
+
+std::vector<BankGeometry>
+RegisterFile::banks() const
+{
+    return {{"file", entries_, 64, readPorts_, writePorts_}};
+}
+
+std::vector<EnergyTerm>
+RegisterFile::energyTerms(const AccessCounts &counts,
+                          u64 short_alloc_writes) const
+{
+    (void)short_alloc_writes;
+    BankGeometry bank = banks().front();
+    return {
+        {bank, counts.totalReads(), false},
+        {bank, counts.totalWrites(), true},
+    };
 }
 
 } // namespace carf::regfile

@@ -1,11 +1,35 @@
 /**
  * @file
- * Abstract integer physical register file model.
+ * Abstract integer physical register file model (the RegFileModel
+ * contract).
  *
  * The out-of-order core interacts with the register file through this
  * interface: physical tags are allocated/freed by rename/commit, while
  * the model tracks per-tag contents, classifies values, arbitrates
  * internal structures, and counts accesses for the energy model.
+ *
+ * Beyond the data path (read/write/release), the contract carries
+ * every hook the rest of the system needs so no caller has to
+ * special-case a concrete backend:
+ *
+ *  - **classification**: classifyPeek() / hasValueTaxonomy() feed the
+ *    operand-mix and clustering statistics;
+ *  - **port arbitration**: beginCycle() / canServeReads() /
+ *    consumeReadPorts() let a model impose its own per-cycle port
+ *    limits on top of the core's (port-reduction backends);
+ *  - **energy/area/delay reporting**: banks() describes the model's
+ *    storage arrays and energyTerms() its per-access accounting, both
+ *    evaluated by the Rixner model in src/energy;
+ *  - **summary counters**: occupancy(), shortAllocWrites(),
+ *    writeStalls(), recoveries(), portStats() populate RunResult
+ *    without the pipeline knowing which backend it drives;
+ *  - **verification**: checkInvariants(), structureCounts(), and
+ *    debugInjectFault() give the shadow-oracle fuzzer structural
+ *    visibility into any backend through the base class alone.
+ *
+ * Every hook has a legacy-preserving default, so a minimal backend
+ * only implements the pure-virtual data path. Concrete backends are
+ * instantiated by name through the factory in regfile/registry.hh.
  */
 
 #ifndef CARF_REGFILE_REGFILE_HH
@@ -52,6 +76,29 @@ struct AccessCounts
     u64 totalWrites() const { return writes[0] + writes[1] + writes[2]; }
 };
 
+/** Geometry of one storage bank of a model (Rixner evaluation). */
+struct BankGeometry
+{
+    std::string label;
+    unsigned entries = 0;
+    unsigned widthBits = 0;
+    unsigned readPorts = 0;
+    unsigned writePorts = 0;
+};
+
+/**
+ * One term of a model's energy accounting: @p accesses read or write
+ * accesses to @p bank. Terms are ORDERED — energy evaluation sums
+ * them left to right, so a backend emits terms in its canonical
+ * accounting order and the printed totals are bit-stable.
+ */
+struct EnergyTerm
+{
+    BankGeometry bank;
+    u64 accesses = 0;
+    bool isWrite = false;
+};
+
 /**
  * Integer physical register file model. Tags are dense indices in
  * [0, entries). The pipeline guarantees: write(tag) before any
@@ -78,6 +125,16 @@ class RegisterFile
      */
     virtual WriteAccess write(u32 tag, u64 value) = 0;
 
+    /**
+     * Complete a write that must not stall (§3.2 pseudo-deadlock
+     * recovery at the ROB head). Models without a stalling write path
+     * treat this as a plain write.
+     */
+    virtual WriteAccess writeForced(u32 tag, u64 value)
+    {
+        return write(tag, value);
+    }
+
     /** Tag freed (previous mapping released at commit). */
     virtual void release(u32 tag) = 0;
 
@@ -97,12 +154,156 @@ class RegisterFile
     /** Called once per ROB interval (ROB-size commits). */
     virtual void onRobInterval() {}
 
+    // --- per-cycle read-port arbitration hook ---
+
+    /** Start of a core cycle: reset any per-cycle port accounting. */
+    virtual void beginCycle() {}
+
+    /**
+     * Can the model serve @p n more read accesses this cycle (on top
+     * of what consumeReadPorts() already claimed)? A model that
+     * returns false records a port conflict in its own statistics;
+     * the core skips the instruction this cycle. Default: always.
+     */
+    virtual bool canServeReads(unsigned n)
+    {
+        (void)n;
+        return true;
+    }
+
+    /** Claim @p n read ports for this cycle (issue committed). */
+    virtual void consumeReadPorts(unsigned n) { (void)n; }
+
+    /** Port-conflict totals (port-reduction backends). */
+    struct PortStats
+    {
+        /** Issue attempts refused for lack of model read ports. */
+        u64 conflictOps = 0;
+        /** Cycles in which at least one refusal happened. */
+        u64 conflictCycles = 0;
+    };
+    virtual PortStats portStats() const { return {}; }
+
+    // --- classification hooks ---
+
+    /**
+     * Classify @p value against current model state, with no side
+     * effects. The default applies the baseline reporting taxonomy
+     * (sign-extends from 20 bits => Simple, else Long).
+     */
+    virtual ValueType classifyPeek(u64 value) const;
+
+    /**
+     * True when classifyPeek() reflects a real content taxonomy the
+     * model maintains (drives the operand-mix / clustering stats);
+     * false when classification exists only for reporting parity.
+     */
+    virtual bool hasValueTaxonomy() const { return false; }
+
     /** Peek at a tag's current content type (no access counted). */
     virtual ValueType peekType(u32 tag) const = 0;
     /** Peek at a tag's value (no access counted). */
     virtual u64 peekValue(u32 tag) const = 0;
     /** True when the tag currently holds a written, live value. */
     virtual bool peekLive(u32 tag) const = 0;
+
+    /**
+     * Sub-structure index of @p tag's current entry (Short or Long
+     * file index; 0 for models without sub-structures). Testing
+     * visibility for the shadow oracle; counts no access.
+     */
+    virtual unsigned peekSubIndex(u32 tag) const
+    {
+        (void)tag;
+        return 0;
+    }
+
+    // --- summary counters (RunResult population) ---
+
+    /** Live sub-structure occupancy sampled once per cycle. */
+    struct Occupancy
+    {
+        unsigned liveLong = 0;
+        unsigned liveShort = 0;
+    };
+    virtual Occupancy occupancy() const { return {}; }
+
+    /** Internal allocation writes surfaced as short_file_writes. */
+    virtual u64 shortAllocWrites() const { return 0; }
+    /** Writebacks delayed waiting for an internal allocation. */
+    virtual u64 writeStalls() const { return 0; }
+    /** Forced-write recoveries (§3.2 pseudo-deadlock). */
+    virtual u64 recoveries() const { return 0; }
+
+    // --- energy / area / delay reporting hooks ---
+
+    /**
+     * The model's storage banks, in canonical order. Total area is
+     * the ordered sum of per-bank areas; access time is the slowest
+     * bank. Default: one flat 64-bit array of entries() registers
+     * with the core-side port counts (see setPortGeometry()).
+     */
+    virtual std::vector<BankGeometry> banks() const;
+
+    /**
+     * Per-access energy accounting of a run with access totals
+     * @p counts (and @p short_alloc_writes internal allocation
+     * writes), as ordered terms. Default: every read and write
+     * touches the single flat bank.
+     */
+    virtual std::vector<EnergyTerm>
+    energyTerms(const AccessCounts &counts, u64 short_alloc_writes) const;
+
+    /**
+     * Core-side port counts used for geometry/energy reporting; set
+     * by the registry factory from RegFileParams. Defaults match the
+     * paper baseline (8R/6W).
+     */
+    void setPortGeometry(unsigned read_ports, unsigned write_ports)
+    {
+        readPorts_ = read_ports;
+        writePorts_ = write_ports;
+    }
+
+    /**
+     * Model-specific suffix for configuration descriptions, e.g.
+     * ", d+n=20, M=8, K=48". Empty for plain models.
+     */
+    virtual std::string describeExtra() const { return ""; }
+
+    // --- verification hooks (shadow-oracle fuzzer) ---
+
+    /**
+     * Structural self-check (debug/testing): empty string when every
+     * model invariant holds, else a description of the first
+     * violation. Models without internal structure have nothing to
+     * violate.
+     */
+    virtual std::string checkInvariants() const { return ""; }
+
+    /**
+     * Expected sub-structure occupancy for double-entry verification:
+     * per-Short-slot reference counts and Long free-list state. The
+     * shadow oracle sizes and cross-checks its books from this alone,
+     * so any backend is fuzzable without casts. Default: no
+     * sub-structures.
+     */
+    struct StructureCounts
+    {
+        std::vector<unsigned> shortRefCounts;
+        unsigned freeLong = 0;
+        unsigned liveLong = 0;
+        bool hasLongFile = false;
+    };
+    virtual StructureCounts structureCounts() const { return {}; }
+
+    /**
+     * Fault injection for harness self-tests ONLY: corrupt internal
+     * state keyed by @p selector (e.g. leak a Short reference) so a
+     * test can prove the invariant checks catch it. No-op for models
+     * without corruptible sub-structures; never call from model code.
+     */
+    virtual void debugInjectFault(u64 selector) { (void)selector; }
 
     const AccessCounts &accessCounts() const { return counts_; }
     /** Zero the access counters (e.g.\ after warm-up writes). */
@@ -121,9 +322,18 @@ class RegisterFile
 
     std::string name_;
     unsigned entries_;
+    /** Core-side port counts for reporting (see setPortGeometry). */
+    unsigned readPorts_ = 8;
+    unsigned writePorts_ = 6;
     AccessCounts counts_;
     stats::StatGroup stats_;
 };
+
+/**
+ * The register-file contract by its interface name: every backend in
+ * the registry is a RegFileModel.
+ */
+using RegFileModel = RegisterFile;
 
 } // namespace carf::regfile
 

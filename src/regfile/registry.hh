@@ -1,0 +1,120 @@
+/**
+ * @file
+ * String-keyed factory registry for register-file backends.
+ *
+ * Every RegFileModel implementation registers itself under a stable
+ * name ("baseline", "content-aware", "port-reduction", ...); the core
+ * instantiates whatever name its parameters carry, so adding a new
+ * organization touches no pipeline code, no bench driver, and no
+ * fuzzer — registration alone makes a backend simulatable,
+ * benchmarkable, and fuzzable everywhere.
+ *
+ * Built-in backends live in their own translation units and are
+ * registered on first use of registry() (which also anchors their
+ * archive members against linker dead-stripping); external backends —
+ * tests, experiments — self-register with a static RegFileRegistrar.
+ * See DESIGN.md "Register-file backend zoo" for the how-to.
+ */
+
+#ifndef CARF_REGFILE_REGISTRY_HH
+#define CARF_REGFILE_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "regfile/content_aware.hh"
+#include "regfile/port_reduction.hh"
+#include "regfile/regfile.hh"
+
+namespace carf::regfile
+{
+
+/**
+ * Aggregate construction parameters understood by every backend. A
+ * backend picks the members it needs and ignores the rest, so one
+ * parameter bundle travels from CoreParams to any factory.
+ */
+struct RegFileParams
+{
+    /** Physical tags. */
+    unsigned entries = 112;
+    /** Core-side read/write ports (geometry/energy reporting). */
+    unsigned readPorts = 8;
+    unsigned writePorts = 6;
+    /** Content-aware sub-file configuration. */
+    ContentAwareParams ca;
+    /** Port-reduction pool configuration. */
+    PortReductionParams portRed;
+};
+
+/** Name-keyed collection of backend factories. */
+class Registry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<RegisterFile>(
+        const std::string &instance, const RegFileParams &params)>;
+
+    struct Backend
+    {
+        std::string name;
+        std::string description;
+        Factory factory;
+    };
+
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** Register a backend; fatal() on a duplicate name. */
+    void add(std::string name, std::string description, Factory factory);
+
+    /** Look up a backend; nullptr when unknown. */
+    const Backend *find(const std::string &name) const;
+
+    /** Look up a backend; fatal() with the known names when unknown. */
+    const Backend &at(const std::string &name) const;
+
+    /** All registered backend names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    mutable std::mutex mutex_;
+    /** unique_ptr members keep Backend pointers stable across add(). */
+    std::vector<std::unique_ptr<Backend>> backends_;
+};
+
+/**
+ * The process-wide backend registry. First use registers the built-in
+ * backends, so the zoo is complete regardless of static-init order.
+ */
+Registry &registry();
+
+/**
+ * Instantiate backend @p name with @p params; fatal() on an unknown
+ * name. @p instance names the created file for stats/log output.
+ */
+std::unique_ptr<RegisterFile>
+makeRegFile(const std::string &name, const RegFileParams &params,
+            const std::string &instance = "intRf");
+
+/**
+ * Self-registration handle for external backends: declare a static
+ * RegFileRegistrar in the backend's translation unit and the backend
+ * is in the zoo before main() runs.
+ */
+class RegFileRegistrar
+{
+  public:
+    RegFileRegistrar(const char *name, const char *description,
+                     Registry::Factory factory)
+    {
+        registry().add(name, description, std::move(factory));
+    }
+};
+
+} // namespace carf::regfile
+
+#endif // CARF_REGFILE_REGISTRY_HH

@@ -8,15 +8,15 @@ namespace carf::sim
 std::string
 describeConfig(const core::CoreParams &params)
 {
-    std::string desc = core::regFileKindName(params.regFileKind);
+    std::string desc = params.regFileBackend;
     desc += strprintf(" (%u regs, %uR/%uW", params.physIntRegs,
                       params.intRfReadPorts, params.intRfWritePorts);
-    if (params.regFileKind == core::RegFileKind::ContentAware) {
-        desc += strprintf(", d+n=%u, M=%u, K=%u",
-                          params.ca.sim.simpleFieldBits(),
-                          params.ca.sim.shortEntries(),
-                          params.ca.longEntries);
-    }
+    // The model knows its own parameters: "d+n=20, M=8, K=48" for the
+    // content-aware file, "shared-rd=4" for port reduction, nothing
+    // for plain files.
+    desc += regfile::makeRegFile(params.regFileBackend,
+                                 params.regFileParams(), "describe")
+                ->describeExtra();
     desc += ")";
     return desc;
 }

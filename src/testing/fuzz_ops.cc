@@ -4,7 +4,6 @@
 #include <sstream>
 
 #include "common/logging.hh"
-#include "regfile/baseline.hh"
 
 namespace carf::testing
 {
@@ -25,46 +24,35 @@ fuzzOpName(FuzzOpKind kind)
     return "?";
 }
 
-const char *
-fuzzFileKindName(FuzzFileKind kind)
-{
-    switch (kind) {
-      case FuzzFileKind::Baseline: return "baseline";
-      case FuzzFileKind::ContentAware: return "content-aware";
-    }
-    return "?";
-}
-
 std::unique_ptr<regfile::RegisterFile>
 FuzzConfig::makeFile(const std::string &name) const
 {
-    if (fileKind == FuzzFileKind::Baseline)
-        return std::make_unique<regfile::BaselineRegFile>(name, entries);
-    return std::make_unique<regfile::ContentAwareRegFile>(name, entries,
-                                                          ca);
+    regfile::RegFileParams params;
+    params.entries = entries;
+    params.ca = ca;
+    params.portRed = portRed;
+    return regfile::makeRegFile(backend, params, name);
 }
 
 std::vector<FuzzConfig>
 standardFuzzConfigs()
 {
     std::vector<FuzzConfig> configs;
+    for (const std::string &name : regfile::registry().names()) {
+        // The default ca is the paper configuration: d+n=20, M=8, K=48.
+        FuzzConfig config;
+        config.backend = name;
+        configs.push_back(config);
+        if (name == "content-aware") {
+            FuzzConfig assoc = config;
+            assoc.ca.associativeShort = true;
+            configs.push_back(assoc);
 
-    FuzzConfig baseline;
-    baseline.fileKind = FuzzFileKind::Baseline;
-    configs.push_back(baseline);
-
-    // The paper configuration: d+n = 20, M = 8, K = 48.
-    FuzzConfig paper;
-    configs.push_back(paper);
-
-    FuzzConfig assoc = paper;
-    assoc.ca.associativeShort = true;
-    configs.push_back(assoc);
-
-    FuzzConfig alloc_any = paper;
-    alloc_any.ca.allocShortOnAnyResult = true;
-    configs.push_back(alloc_any);
-
+            FuzzConfig alloc_any = config;
+            alloc_any.ca.allocShortOnAnyResult = true;
+            configs.push_back(alloc_any);
+        }
+    }
     return configs;
 }
 
@@ -118,7 +106,7 @@ std::string
 FuzzCase::serialize() const
 {
     std::string out = "carf-fuzz-seed v1\n";
-    out += strprintf("kind %s\n", fuzzFileKindName(config.fileKind));
+    out += strprintf("kind %s\n", config.backend.c_str());
     out += strprintf("entries %u\n", config.entries);
     out += strprintf("d %u\n", config.ca.sim.d());
     out += strprintf("n %u\n", config.ca.sim.n());
@@ -127,6 +115,7 @@ FuzzCase::serialize() const
     out += strprintf("assoc %u\n", config.ca.associativeShort ? 1 : 0);
     out += strprintf("allocany %u\n",
                      config.ca.allocShortOnAnyResult ? 1 : 0);
+    out += strprintf("ports %u\n", config.portRed.sharedReadPorts);
     out += strprintf("ops %zu\n", ops.size());
     for (const FuzzOp &op : ops) {
         switch (op.kind) {
@@ -180,12 +169,9 @@ FuzzCase::parse(const std::string &text, std::string *error)
         if (key == "kind") {
             std::string kind;
             fields >> kind;
-            if (kind == "baseline")
-                fuzz_case.config.fileKind = FuzzFileKind::Baseline;
-            else if (kind == "content-aware")
-                fuzz_case.config.fileKind = FuzzFileKind::ContentAware;
-            else
+            if (!regfile::registry().find(kind))
                 return bad("unknown file kind '" + kind + "'");
+            fuzz_case.config.backend = kind;
         } else if (key == "entries") {
             fields >> fuzz_case.config.entries;
         } else if (key == "d") {
@@ -210,6 +196,8 @@ FuzzCase::parse(const std::string &text, std::string *error)
             unsigned flag = 0;
             fields >> flag;
             fuzz_case.config.ca.allocShortOnAnyResult = flag != 0;
+        } else if (key == "ports") {
+            fields >> fuzz_case.config.portRed.sharedReadPorts;
         } else if (key == "ops") {
             fields >> op_count;
             saw_ops = true;

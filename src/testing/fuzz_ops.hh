@@ -18,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "regfile/content_aware.hh"
+#include "regfile/registry.hh"
 
 namespace carf::testing
 {
@@ -41,9 +41,10 @@ enum class FuzzOpKind : u8
     /** reset() of both implementation and oracle. */
     Reset,
     /**
-     * Fault injection: leak one Short-file reference on slot
-     * (value mod M), bypassing the oracle. Only emitted by tests that
-     * prove the harness catches refcount corruption; never generated.
+     * Fault injection: debugInjectFault(value) on the model (e.g. a
+     * leaked Short-file reference), bypassing the oracle. Only emitted
+     * by tests that prove the harness catches internal-state
+     * corruption; never generated.
      */
     InjectShortRefLeak,
 };
@@ -60,34 +61,27 @@ struct FuzzOp
     bool operator==(const FuzzOp &) const = default;
 };
 
-/** Which register-file model a fuzz case drives. */
-enum class FuzzFileKind : u8
-{
-    Baseline,
-    ContentAware,
-};
-
-const char *fuzzFileKindName(FuzzFileKind kind);
-
 /** Register-file configuration of a fuzz case. */
 struct FuzzConfig
 {
-    FuzzFileKind fileKind = FuzzFileKind::ContentAware;
+    /** Registry name of the model this case drives. */
+    std::string backend = "content-aware";
     /** Physical tags. */
     unsigned entries = 64;
     regfile::ContentAwareParams ca;
+    regfile::PortReductionParams portRed;
 
-    /** Instantiate the configured register file. */
+    /** Instantiate the configured register file via the registry. */
     std::unique_ptr<regfile::RegisterFile>
     makeFile(const std::string &name) const;
-
-    bool isContentAware() const
-    {
-        return fileKind == FuzzFileKind::ContentAware;
-    }
 };
 
-/** The four standard configurations the bounded fuzz tests cover. */
+/**
+ * The standard configurations the bounded fuzz tests cover: every
+ * registered backend (so a newly registered model is fuzzed with no
+ * harness changes), plus the associative-Short and alloc-on-any-result
+ * ablation variants of the content-aware file.
+ */
 std::vector<FuzzConfig> standardFuzzConfigs();
 
 /** A deterministic, replayable fuzz case. */

@@ -9,12 +9,29 @@ namespace carf::testing
 
 using regfile::ValueType;
 
+namespace
+{
+
+/**
+ * Size the oracle's books from a *fresh* model's structureCounts():
+ * the Short file has one slot per reported refcount, and every real
+ * Long entry of an unused file is free, so freeLong is K.
+ */
+ShadowRegFile
+makeShadow(const regfile::RegisterFile &file, unsigned entries)
+{
+    regfile::RegisterFile::StructureCounts sc = file.structureCounts();
+    return ShadowRegFile(
+        entries, static_cast<unsigned>(sc.shortRefCounts.size()),
+        sc.freeLong);
+}
+
+} // namespace
+
 FuzzHarness::FuzzHarness(const FuzzConfig &config)
     : config_(config),
       file_(config.makeFile("fuzz")),
-      ca_(dynamic_cast<regfile::ContentAwareRegFile *>(file_.get())),
-      shadow_(config.entries, ca_ ? config.ca.sim.shortEntries() : 0,
-              ca_ ? config.ca.longEntries : 0)
+      shadow_(makeShadow(*file_, config.entries))
 {
 }
 
@@ -31,12 +48,12 @@ FuzzHarness::step(const FuzzOp &op)
         if (file_->peekLive(tag))
             break;
         regfile::WriteAccess access =
-            op.kind == FuzzOpKind::WriteForced && ca_
-                ? ca_->writeForced(tag, op.value)
+            op.kind == FuzzOpKind::WriteForced
+                ? file_->writeForced(tag, op.value)
                 : file_->write(tag, op.value);
         if (!access.stalled)
             shadow_.noteWrite(tag, op.value, access.type,
-                              ca_ ? ca_->peekSubIndex(tag) : 0);
+                              file_->peekSubIndex(tag));
         break;
       }
       case FuzzOpKind::Read: {
@@ -72,19 +89,13 @@ FuzzHarness::step(const FuzzOp &op)
       case FuzzOpKind::InjectShortRefLeak:
         // Deliberate corruption, invisible to the oracle: the next
         // check must report the reference-count divergence.
-        if (ca_) {
-            ca_->debugShortFile().addRef(
-                static_cast<unsigned>(op.value) %
-                config_.ca.sim.shortEntries());
-        }
+        file_->debugInjectFault(op.value);
         break;
     }
 
-    if (ca_) {
-        std::string err = ca_->checkInvariants();
-        if (!err.empty())
-            return err;
-    }
+    std::string err = file_->checkInvariants();
+    if (!err.empty())
+        return err;
     return shadow_.check(*file_);
 }
 

@@ -55,7 +55,6 @@ class FuzzHarness
   private:
     FuzzConfig config_;
     std::unique_ptr<regfile::RegisterFile> file_;
-    regfile::ContentAwareRegFile *ca_; // null for the baseline
     ShadowRegFile shadow_;
 };
 

@@ -90,23 +90,24 @@ ShadowRegFile::check(const regfile::RegisterFile &file) const
                              valueTypeName(reg.type));
     }
 
-    auto *ca = dynamic_cast<const regfile::ContentAwareRegFile *>(&file);
-    if (!ca)
-        return "";
-
-    const regfile::ShortFile &short_file = ca->shortFile();
+    regfile::RegisterFile::StructureCounts sc = file.structureCounts();
+    if (sc.shortRefCounts.size() != shortRefs_.size())
+        return strprintf("Short file: impl %zu slots != oracle %zu",
+                         sc.shortRefCounts.size(), shortRefs_.size());
     for (unsigned i = 0; i < shortRefs_.size(); ++i) {
-        if (short_file.refCount(i) != shortRefs_[i])
+        if (sc.shortRefCounts[i] != shortRefs_[i])
             return strprintf("Short slot %u: impl refcount %u != "
-                             "oracle %u", i, short_file.refCount(i),
+                             "oracle %u", i, sc.shortRefCounts[i],
                              shortRefs_[i]);
     }
-    if (ca->freeLongEntries() != freeLong_)
+    if (!sc.hasLongFile)
+        return "";
+    if (sc.freeLong != freeLong_)
         return strprintf("Long free list: impl %u != oracle %u",
-                         ca->freeLongEntries(), freeLong_);
-    if (ca->liveLongEntries() != liveLongEntries())
+                         sc.freeLong, freeLong_);
+    if (sc.liveLong != liveLongEntries())
         return strprintf("live Long entries: impl %u != oracle %u",
-                         ca->liveLongEntries(), liveLongEntries());
+                         sc.liveLong, liveLongEntries());
     return "";
 }
 

@@ -24,7 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "regfile/content_aware.hh"
+#include "regfile/regfile.hh"
 
 namespace carf::testing
 {
@@ -69,10 +69,11 @@ class ShadowRegFile
 
     /**
      * Cross-check @p file against the oracle: per-tag liveness, type,
-     * and bit-exact value, and — when @p file is a ContentAwareRegFile
-     * — Short reference counts and Long free-list occupancy. Returns
-     * an empty string when everything matches, else a description of
-     * the first divergence.
+     * and bit-exact value, plus — through the model's
+     * structureCounts() hook, with no knowledge of the concrete
+     * backend — Short reference counts and Long free-list occupancy.
+     * Returns an empty string when everything matches, else a
+     * description of the first divergence.
      */
     std::string check(const regfile::RegisterFile &file) const;
 

@@ -21,7 +21,8 @@ namespace
 {
 
 class ArchEquivalence
-    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::string>>
 {
 };
 
@@ -29,7 +30,7 @@ class ArchEquivalence
 
 TEST_P(ArchEquivalence, PipelineMatchesEmulator)
 {
-    auto [workload_name, config] = GetParam();
+    auto [workload_name, backend] = GetParam();
     const u64 insts = 20000;
     const auto &workload = workloads::findWorkload(workload_name);
 
@@ -39,13 +40,8 @@ TEST_P(ArchEquivalence, PipelineMatchesEmulator)
     while (reference.next(op)) {
     }
 
-    // Timed execution over the same stream.
-    core::CoreParams params;
-    switch (config) {
-      case 0: params = core::CoreParams::unlimited(); break;
-      case 1: params = core::CoreParams::baseline(); break;
-      default: params = core::CoreParams::contentAware(); break;
-    }
+    // Timed execution over the same stream, on the named backend.
+    core::CoreParams params = core::CoreParams::forBackend(backend);
     auto trace = workloads::makeTrace(workload, insts);
     core::Pipeline pipeline(params);
     auto result = pipeline.run(*trace);
@@ -64,12 +60,13 @@ namespace
 
 std::string
 archEquivalenceName(
-    const ::testing::TestParamInfo<std::tuple<std::string, int>> &info)
+    const ::testing::TestParamInfo<std::tuple<std::string, std::string>>
+        &info)
 {
-    const char *config = std::get<1>(info.param) == 0 ? "unlimited"
-                         : std::get<1>(info.param) == 1
-                             ? "baseline"
-                             : "content_aware";
+    std::string config = std::get<1>(info.param);
+    for (char &c : config)
+        if (c == '-')
+            c = '_';
     return std::get<0>(info.param) + "_" + config;
 }
 
@@ -80,7 +77,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("counters", "hash_table",
                                          "crc", "monte_carlo",
                                          "jacobi"),
-                       ::testing::Values(0, 1, 2)),
+                       ::testing::Values("unlimited", "baseline",
+                                         "content-aware",
+                                         "port-reduction")),
     archEquivalenceName);
 
 TEST(WarmUpEquivalence, FastForwardPreservesArchState)

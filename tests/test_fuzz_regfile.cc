@@ -85,8 +85,9 @@ TEST(ShadowRegFile, CrossChecksContentAwareFile)
 TEST(FuzzCase, SeedFileRoundTrip)
 {
     FuzzCase original;
-    original.config.fileKind = FuzzFileKind::ContentAware;
+    original.config.backend = "content-aware";
     original.config.entries = 32;
+    original.config.portRed.sharedReadPorts = 3;
     original.config.ca.sim = {14, 4};
     original.config.ca.longEntries = 12;
     original.config.ca.issueStallThreshold = 3;
@@ -105,8 +106,10 @@ TEST(FuzzCase, SeedFileRoundTrip)
     std::string error;
     auto parsed = FuzzCase::parse(original.serialize(), &error);
     ASSERT_TRUE(parsed.has_value()) << error;
-    EXPECT_EQ(parsed->config.fileKind, original.config.fileKind);
+    EXPECT_EQ(parsed->config.backend, original.config.backend);
     EXPECT_EQ(parsed->config.entries, original.config.entries);
+    EXPECT_EQ(parsed->config.portRed.sharedReadPorts,
+              original.config.portRed.sharedReadPorts);
     EXPECT_EQ(parsed->config.ca.sim.d(), original.config.ca.sim.d());
     EXPECT_EQ(parsed->config.ca.sim.n(), original.config.ca.sim.n());
     EXPECT_EQ(parsed->config.ca.longEntries,
@@ -156,22 +159,24 @@ TEST(FuzzGenerator, DeterministicAndCoversAllOps)
 }
 
 /**
- * Bounded fuzz over the four standard configurations (baseline,
- * content-aware paper geometry, associative Short, alloc-on-any
- * result): >=10k ops each must pass every per-step check.
+ * Bounded fuzz over the standard configurations — every backend in
+ * the registry plus the associative-Short and alloc-on-any-result
+ * content-aware ablations: >=10k ops each must pass every per-step
+ * check. A newly registered backend joins this sweep automatically.
  */
 TEST(BoundedFuzz, StandardConfigsPassTenThousandOps)
 {
     FuzzGenOptions options;
     options.ops = 10000;
     auto configs = standardFuzzConfigs();
-    ASSERT_EQ(configs.size(), 4u);
+    ASSERT_GE(configs.size(),
+              regfile::registry().names().size() + 2);
     for (size_t c = 0; c < configs.size(); ++c) {
         for (u64 seed : {u64{1}, u64{2}}) {
             FuzzRoundResult result =
                 fuzzOneSeed(configs[c], seed * 1000 + c, options);
             EXPECT_FALSE(result.failure.has_value())
-                << fuzzFileKindName(configs[c].fileKind) << " config "
+                << configs[c].backend << " config "
                 << c << " seed " << seed << ": op "
                 << result.failure->opIndex << ": "
                 << result.failure->message;
@@ -281,25 +286,22 @@ TEST(InjectedBug, ShrinkKeepsRequiredContext)
 }
 
 /**
- * The fuzzer's bounded config set (baseline, paper geometry,
- * associative Short, alloc-on-any-result) replayed through the
- * config-parallel lockstep engine: every register-file variant the
- * oracle model-checks must also be bit-identical between grouped and
- * solo full-pipeline simulation.
+ * The fuzzer's bounded config set — every registered backend plus the
+ * content-aware ablations — replayed through the config-parallel
+ * lockstep engine: every register-file variant the oracle
+ * model-checks must also be bit-identical between grouped and solo
+ * full-pipeline simulation.
  */
 TEST(BoundedFuzz, StandardConfigSetLockstepMatchesSerial)
 {
     std::vector<core::CoreParams> configs;
     for (const FuzzConfig &fc : standardFuzzConfigs()) {
-        if (!fc.isContentAware()) {
-            configs.push_back(core::CoreParams::baseline());
-        } else {
-            auto params = core::CoreParams::contentAware(20);
-            params.ca = fc.ca;
-            configs.push_back(params);
-        }
+        auto params = core::CoreParams::forBackend(fc.backend);
+        params.ca = fc.ca;
+        params.portRed = fc.portRed;
+        configs.push_back(params);
     }
-    ASSERT_EQ(configs.size(), 4u);
+    ASSERT_GE(configs.size(), 4u);
 
     sim::SimOptions options;
     options.maxInsts = 15000;

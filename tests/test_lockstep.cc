@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "regfile/registry.hh"
 #include "sim/experiment_runner.hh"
 #include "sim/reporting.hh"
 #include "sim/simulator.hh"
@@ -95,6 +96,32 @@ TEST(Lockstep, GroupedMatchesSerialForStandardConfigs)
             EXPECT_EQ(grouped[i].wallSeconds,
                       grouped[i].traceBuildSeconds +
                           grouped[i].simSeconds);
+        }
+    }
+}
+
+TEST(Lockstep, MixedBackendGroupMatchesSolo)
+{
+    // One lockstep group mixing every registered register-file
+    // backend: grouped replay must stay bit-identical to solo runs
+    // even when the lanes disagree about the register-file model
+    // (including the port-reduction backend's issue-side stalls).
+    emu::TraceCache cache;
+    auto options = quick();
+    options.traceCache = &cache;
+    std::vector<core::CoreParams> configs;
+    for (const std::string &name : regfile::registry().names())
+        configs.push_back(core::CoreParams::forBackend(name));
+    ASSERT_GE(configs.size(), 4u);
+
+    for (const auto &w : miniSuite()) {
+        auto grouped = simulateGroup(w, configs, options);
+        ASSERT_EQ(grouped.size(), configs.size()) << w.name;
+        for (size_t i = 0; i < configs.size(); ++i) {
+            auto serial = simulate(w, configs[i], options);
+            expectSameRun(grouped[i], serial,
+                          w.name + " backend " +
+                              configs[i].regFileBackend);
         }
     }
 }

@@ -47,11 +47,11 @@ TEST_P(SmokeAllWorkloads, RunsOnAllRegFileKinds)
 
     for (auto params : {core::CoreParams::unlimited(),
                         core::CoreParams::baseline(),
-                        core::CoreParams::contentAware()}) {
+                        core::CoreParams::contentAware(),
+                        core::CoreParams::portReduction()}) {
         auto result = sim::simulate(workload, params, options);
         EXPECT_EQ(result.committedInsts, options.maxInsts)
-            << workload.name << " on "
-            << core::regFileKindName(params.regFileKind);
+            << workload.name << " on " << params.regFileBackend;
         EXPECT_GT(result.ipc, 0.0);
     }
 }

@@ -43,7 +43,7 @@ TEST(Smt, SingleThreadMatchesPipeline)
         auto multi = smt.run({t2.get()}, false);
 
         EXPECT_EQ(single.cycles, multi.cycles)
-            << regFileKindName(params.regFileKind);
+            << params.regFileBackend;
         EXPECT_EQ(single.committedInsts,
                   multi.threads[0].committedInsts);
     }

@@ -44,7 +44,7 @@ main(int argc, char **argv)
     }
 
     std::printf("replaying %s: %s file, %u entries, %zu ops\n", path,
-                fuzzFileKindName(fuzz_case->config.fileKind),
+                fuzz_case->config.backend.c_str(),
                 fuzz_case->config.entries, fuzz_case->ops.size());
 
     auto failure = testing::runCase(*fuzz_case);
