@@ -28,6 +28,19 @@
  *                     (compare_backends) accept a comma-separated list
  *                     to restrict the sweep. Unknown names are fatal,
  *                     listing what is registered.
+ *   store_dir=PATH    content-addressed result store directory (see
+ *                     sim/result_store.hh). Every suite job reads
+ *                     through the store: cached (config, workload,
+ *                     code-version) points are served from disk
+ *                     bit-identically instead of re-simulated, and
+ *                     misses are written back — so repeated runs, and
+ *                     different harnesses sharing one store_dir,
+ *                     never recompute shared points (the `unlimited`
+ *                     reference suite, say). Hit/miss counts print to
+ *                     stderr at exit.
+ *   result_store=1    as above with the default directory
+ *                     "carf_result_store" (result_store=0 disables an
+ *                     explicit store_dir=).
  *
  * Tables printed through printTable() and suite runs executed through
  * BenchArgs::runSuite() are also captured into a machine-readable
@@ -47,6 +60,7 @@
 #include <memory>
 
 #include "common/config.hh"
+#include "common/fingerprint.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "emu/trace_cache.hh"
@@ -54,6 +68,7 @@
 #include "sim/experiment_runner.hh"
 #include "sim/experiments.hh"
 #include "sim/reporting.hh"
+#include "sim/result_store.hh"
 
 namespace carf::bench
 {
@@ -143,6 +158,12 @@ struct BenchArgs
      */
     std::shared_ptr<emu::TraceCache> traceCache;
     /**
+     * Content-addressed result store (store_dir=/result_store= keys);
+     * null for a stock run. Owned here; options.resultStore points at
+     * it, so every suite job this harness submits reads through it.
+     */
+    std::shared_ptr<sim::ResultStore> resultStore;
+    /**
      * Backends named by the regfile= key, registry-validated, in
      * argument order; empty when the key is absent (stock run).
      */
@@ -178,6 +199,14 @@ struct BenchArgs
         args.options.lockstep = args.config.getBool("lockstep", true);
         args.options.lockstepMaxGroup = static_cast<unsigned>(
             args.config.getU64("lockstep_group", 0));
+        std::string store_dir = args.config.getString("store_dir", "");
+        if (args.config.getBool("result_store", !store_dir.empty())) {
+            if (store_dir.empty())
+                store_dir = "carf_result_store";
+            args.resultStore = std::make_shared<sim::ResultStore>(
+                store_dir, buildFingerprint());
+            args.options.resultStore = args.resultStore.get();
+        }
         std::string regfile = args.config.getString("regfile", "");
         for (size_t start = 0; start < regfile.size();) {
             size_t comma = regfile.find(',', start);
@@ -329,6 +358,16 @@ struct BenchArgs
     {
         report.write(reportPath());
         std::printf("wrote %s\n", reportPath().c_str());
+        // Stderr, so table-equivalence diffs of captured stdout stay
+        // clean across cold and warm runs.
+        if (resultStore) {
+            resultStore->writeIndex();
+            std::fprintf(stderr,
+                         "result store: %llu hits, %llu misses (%s)\n",
+                         (unsigned long long)resultStore->hits(),
+                         (unsigned long long)resultStore->misses(),
+                         resultStore->dir().c_str());
+        }
     }
 };
 

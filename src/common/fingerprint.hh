@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Simulation-relevant code version, exported from CMake.
+ *
+ * The definition is generated at build time by cmake/fingerprint.cmake:
+ * a SHA-256 over the contents of every .cc and .hh file under src/.
+ * Result-store keys mix this digest in, so cached results survive
+ * doc/bench/test edits but are invalidated by any change that could
+ * alter simulator output.
+ */
+
+#ifndef CARF_COMMON_FINGERPRINT_HH
+#define CARF_COMMON_FINGERPRINT_HH
+
+namespace carf
+{
+
+/** 64-char hex SHA-256 of the src/ tree this binary was built from. */
+const char *buildFingerprint();
+
+} // namespace carf
+
+#endif // CARF_COMMON_FINGERPRINT_HH

@@ -1,0 +1,156 @@
+#include "common/hash.hh"
+
+#include <cassert>
+#include <cstring>
+
+namespace carf
+{
+
+namespace
+{
+
+constexpr u32 kInit[8] = {
+    0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+    0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u,
+};
+
+constexpr u32 kRound[64] = {
+    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+    0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+    0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+    0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+    0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+    0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+    0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+    0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+    0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+    0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+    0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+    0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u,
+};
+
+inline u32
+rotr(u32 x, unsigned n)
+{
+    return (x >> n) | (x << (32 - n));
+}
+
+} // namespace
+
+Sha256::Sha256()
+{
+    std::memcpy(state_, kInit, sizeof(state_));
+}
+
+void
+Sha256::processBlock(const u8 *block)
+{
+    u32 w[64];
+    for (unsigned i = 0; i < 16; ++i) {
+        w[i] = (u32(block[4 * i]) << 24) | (u32(block[4 * i + 1]) << 16) |
+               (u32(block[4 * i + 2]) << 8) | u32(block[4 * i + 3]);
+    }
+    for (unsigned i = 16; i < 64; ++i) {
+        u32 s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^
+                 (w[i - 15] >> 3);
+        u32 s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^
+                 (w[i - 2] >> 10);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    u32 a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+    u32 e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+    for (unsigned i = 0; i < 64; ++i) {
+        u32 s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+        u32 ch = (e & f) ^ (~e & g);
+        u32 temp1 = h + s1 + ch + kRound[i] + w[i];
+        u32 s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+        u32 maj = (a & b) ^ (a & c) ^ (b & c);
+        u32 temp2 = s0 + maj;
+        h = g;
+        g = f;
+        f = e;
+        e = d + temp1;
+        d = c;
+        c = b;
+        b = a;
+        a = temp1 + temp2;
+    }
+
+    state_[0] += a;
+    state_[1] += b;
+    state_[2] += c;
+    state_[3] += d;
+    state_[4] += e;
+    state_[5] += f;
+    state_[6] += g;
+    state_[7] += h;
+}
+
+void
+Sha256::update(const void *data, size_t len)
+{
+    assert(!finalized_);
+    const u8 *bytes = static_cast<const u8 *>(data);
+    totalBytes_ += len;
+    if (bufferLen_) {
+        size_t take = std::min<size_t>(len, 64 - bufferLen_);
+        std::memcpy(buffer_ + bufferLen_, bytes, take);
+        bufferLen_ += take;
+        bytes += take;
+        len -= take;
+        if (bufferLen_ == 64) {
+            processBlock(buffer_);
+            bufferLen_ = 0;
+        }
+    }
+    while (len >= 64) {
+        processBlock(bytes);
+        bytes += 64;
+        len -= 64;
+    }
+    if (len) {
+        std::memcpy(buffer_, bytes, len);
+        bufferLen_ = len;
+    }
+}
+
+std::string
+Sha256::hexDigest()
+{
+    assert(!finalized_);
+    finalized_ = true;
+
+    u64 bit_len = totalBytes_ * 8;
+    u8 pad[72];
+    size_t pad_len = (bufferLen_ < 56 ? 56 : 120) - bufferLen_;
+    pad[0] = 0x80;
+    std::memset(pad + 1, 0, pad_len - 1);
+    finalized_ = false; // allow the padding updates below
+    update(pad, pad_len);
+    u8 len_be[8];
+    for (unsigned i = 0; i < 8; ++i)
+        len_be[i] = static_cast<u8>(bit_len >> (56 - 8 * i));
+    update(len_be, 8);
+    finalized_ = true;
+
+    static const char hex[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(64);
+    for (u32 word : state_) {
+        for (int shift = 28; shift >= 0; shift -= 4)
+            out += hex[(word >> shift) & 0xf];
+    }
+    return out;
+}
+
+std::string
+Sha256::hashHex(std::string_view data)
+{
+    Sha256 h;
+    h.update(data);
+    return h.hexDigest();
+}
+
+} // namespace carf

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Stable content hashing (SHA-256) for the result store.
+ *
+ * Cached simulation results are addressed by the hash of their inputs
+ * (canonicalized configuration + workload identity + build
+ * fingerprint), so the digest must be stable across platforms,
+ * compilers, and process runs — std::hash guarantees none of that.
+ * This is a plain FIPS 180-4 SHA-256; speed is irrelevant here (one
+ * digest per simulation job, over ~1 KB of canonical text).
+ */
+
+#ifndef CARF_COMMON_HASH_HH
+#define CARF_COMMON_HASH_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/types.hh"
+
+namespace carf
+{
+
+/** Incremental SHA-256; one-shot via Sha256::hashHex(). */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb @p len bytes. Must not be called after hexDigest(). */
+    void update(const void *data, size_t len);
+    void update(std::string_view s) { update(s.data(), s.size()); }
+
+    /** Finalize and return the 64-char lowercase hex digest. */
+    std::string hexDigest();
+
+    /** One-shot digest of @p data. */
+    static std::string hashHex(std::string_view data);
+
+  private:
+    void processBlock(const u8 *block);
+
+    u32 state_[8];
+    u64 totalBytes_ = 0;
+    u8 buffer_[64];
+    size_t bufferLen_ = 0;
+    bool finalized_ = false;
+};
+
+} // namespace carf
+
+#endif // CARF_COMMON_HASH_HH

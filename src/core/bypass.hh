@@ -41,6 +41,20 @@ class BypassStats
     /** Fraction of register operands served by bypass (Table 2). */
     double bypassFraction() const;
 
+    /**
+     * Overwrite the counters wholesale — result-store deserialization
+     * only; record() is the accounting path.
+     */
+    void
+    restore(u64 bypassed_int, u64 bypassed_fp, u64 regfile_int,
+            u64 regfile_fp)
+    {
+        bypassed_[0] = bypassed_int;
+        bypassed_[1] = bypassed_fp;
+        regFile_[0] = regfile_int;
+        regFile_[1] = regfile_fp;
+    }
+
   private:
     u64 bypassed_[2] = {0, 0};
     u64 regFile_[2] = {0, 0};

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <thread>
 
+#include "sim/result_store.hh"
+
 namespace carf::sim
 {
 
@@ -75,38 +77,51 @@ sameLockstepGroup(const ExperimentJob &a, const ExperimentJob &b)
 }
 
 /**
- * Partition @p batch into schedulable units: each unit is the list of
- * submission indices of jobs that run together through one
- * simulateGroup() call (or a singleton running plain simulate()).
- * Greedy in submission order — a unit collects every later compatible
- * job up to lockstepMaxGroup — so unit membership is deterministic.
+ * Partition the jobs named by @p pending (submission indices into
+ * @p batch) into schedulable units: each unit is the list of indices
+ * that run together through one simulateGroup() call (or a singleton
+ * running plain simulate()). Greedy in submission order — a unit
+ * collects every later compatible job up to lockstepMaxGroup — so
+ * unit membership is deterministic.
  */
 std::vector<std::vector<size_t>>
-partitionBatch(const std::vector<ExperimentJob> &batch)
+partitionBatch(const std::vector<ExperimentJob> &batch,
+               const std::vector<size_t> &pending)
 {
     std::vector<std::vector<size_t>> units;
-    std::vector<bool> assigned(batch.size(), false);
-    for (size_t i = 0; i < batch.size(); ++i) {
-        if (assigned[i])
+    std::vector<bool> assigned(pending.size(), false);
+    for (size_t a = 0; a < pending.size(); ++a) {
+        if (assigned[a])
             continue;
+        size_t i = pending[a];
         std::vector<size_t> unit{i};
-        assigned[i] = true;
+        assigned[a] = true;
         if (lockstepEligible(batch[i])) {
             size_t cap = batch[i].options.lockstepMaxGroup
                              ? batch[i].options.lockstepMaxGroup
-                             : batch.size();
-            for (size_t j = i + 1; j < batch.size() && unit.size() < cap;
-                 ++j) {
-                if (!assigned[j] && lockstepEligible(batch[j]) &&
+                             : pending.size();
+            for (size_t b = a + 1;
+                 b < pending.size() && unit.size() < cap; ++b) {
+                size_t j = pending[b];
+                if (!assigned[b] && lockstepEligible(batch[j]) &&
                     sameLockstepGroup(batch[i], batch[j])) {
                     unit.push_back(j);
-                    assigned[j] = true;
+                    assigned[b] = true;
                 }
             }
         }
         units.push_back(std::move(unit));
     }
     return units;
+}
+
+/** Whether @p job may read/write its options.resultStore. */
+bool
+storeEligible(const ExperimentJob &job)
+{
+    // An oracle is an out-of-band side channel: serving the run from
+    // the cache would silently skip its samples.
+    return job.options.resultStore && !job.oracle;
 }
 
 } // namespace
@@ -117,17 +132,52 @@ ExperimentRunner::run(const std::vector<ExperimentJob> &batch,
 {
     std::vector<core::RunResult> results(batch.size());
 
+    // Resolve content-addressed cache hits up front: a hit fills its
+    // submission slot with the stored bit-identical result and never
+    // reaches the pool, so a fully warm batch costs one key
+    // derivation plus one map lookup per job. Misses keep their key
+    // so completion can write straight back.
+    std::vector<std::string> keys(batch.size());
+    std::vector<char> cached(batch.size(), 0);
+    std::vector<size_t> pending;
+    pending.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+        const ExperimentJob &job = batch[i];
+        if (storeEligible(job)) {
+            keys[i] = job.options.resultStore->key(job.workload.name,
+                                                   job.params,
+                                                   job.options);
+            if (auto hit = job.options.resultStore->get(keys[i])) {
+                results[i] = std::move(*hit);
+                cached[i] = 1;
+                continue;
+            }
+        }
+        pending.push_back(i);
+    }
+
     // Jobs sharing a workload and run options collapse into lockstep
     // units (decode once, step every config — see simulateGroup());
     // the pool then schedules whole units. Results still land in
     // submission-order slots, and lockstep replay is bit-identical to
     // solo simulation, so the result vector is unchanged by grouping.
-    std::vector<std::vector<size_t>> units = partitionBatch(batch);
+    std::vector<std::vector<size_t>> units = partitionBatch(batch,
+                                                            pending);
 
     // The mutex both serializes progress callbacks and publishes each
     // result slot.
     std::mutex progress_mutex;
     size_t completed = 0;
+
+    // Cached jobs report first, in submission order.
+    for (size_t i = 0; i < batch.size(); ++i) {
+        if (!cached[i])
+            continue;
+        ++completed;
+        if (progress)
+            progress({completed, batch.size(), batch[i], results[i],
+                      true});
+    }
 
     runTasks(units.size(), [&](size_t u) {
         const std::vector<size_t> &unit = units[u];
@@ -143,6 +193,14 @@ ExperimentRunner::run(const std::vector<ExperimentJob> &batch,
                 configs.push_back(batch[i].params);
             unit_results = simulateGroup(
                 batch[unit[0]].workload, configs, batch[unit[0]].options);
+        }
+        // Write-back before the results are even published: a kill
+        // between here and the progress callback loses nothing.
+        for (size_t k = 0; k < unit.size(); ++k) {
+            size_t i = unit[k];
+            if (storeEligible(batch[i]))
+                batch[i].options.resultStore->put(keys[i],
+                                                  unit_results[k]);
         }
         std::lock_guard<std::mutex> lock(progress_mutex);
         for (size_t k = 0; k < unit.size(); ++k) {

@@ -59,6 +59,12 @@ struct ExperimentProgress
     const ExperimentJob &job;
     /** Its result. */
     const core::RunResult &result;
+    /**
+     * True when the result came from the job's result store instead
+     * of a simulation (SimOptions::resultStore). Cached jobs report
+     * first, in submission order, before any simulation starts.
+     */
+    bool cached = false;
 };
 
 /**
@@ -98,6 +104,13 @@ class ExperimentRunner
      * calling thread with no pool at all. Each result's wallSeconds
      * covers that job alone (a group's shared front-end time is split
      * evenly across its members).
+     *
+     * Jobs with options.resultStore first resolve their content-
+     * addressed key against the store: hits fill their slots without
+     * simulating (reported to @p progress first, cached=true, in
+     * submission order), misses run as usual and are written back as
+     * they complete — so a killed batch resumes by skipping every key
+     * it already stored. Oracle-carrying jobs bypass the store.
      */
     std::vector<core::RunResult>
     run(const std::vector<ExperimentJob> &batch,

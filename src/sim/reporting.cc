@@ -1,5 +1,8 @@
 #include "sim/reporting.hh"
 
+#include <cstdlib>
+#include <string_view>
+
 #include "common/logging.hh"
 
 namespace carf::sim
@@ -81,6 +84,246 @@ runResultJson(const core::RunResult &result)
     json += strprintf("\"sim_seconds\":%.6f", result.simSeconds);
     json += "}";
     return json;
+}
+
+std::string
+runResultJsonFull(const core::RunResult &result, bool include_host_times)
+{
+    const auto &c = result.intRfAccesses;
+    auto u = [](u64 v) {
+        return strprintf("%llu", (unsigned long long)v);
+    };
+    // %.17g round-trips IEEE doubles exactly through a correctly
+    // rounded strtod, which is what "hit returns a bit-identical
+    // RunResult" requires.
+    auto d = [](double v) { return strprintf("%.17g", v); };
+
+    std::string json = "{";
+    json += "\"workload\":" + jsonString(result.workload) + ",";
+    json += "\"config\":" + jsonString(result.config) + ",";
+    json += "\"cycles\":" + u(result.cycles) + ",";
+    json += "\"committed_insts\":" + u(result.committedInsts) + ",";
+    json += "\"ipc\":" + d(result.ipc) + ",";
+    json += "\"cond_branches\":" + u(result.condBranches) + ",";
+    json += "\"branch_mispredicts\":" + u(result.branchMispredicts) + ",";
+    json += "\"bypass\":[" + u(result.bypass.bypassed(false)) + "," +
+            u(result.bypass.bypassed(true)) + "," +
+            u(result.bypass.regFileReads(false)) + "," +
+            u(result.bypass.regFileReads(true)) + "],";
+    json += "\"operand_mix\":[";
+    for (unsigned b = 0; b < core::OperandMix::NumBuckets; ++b)
+        json += (b ? "," : "") + u(result.operandMix.counts[b]);
+    json += "],";
+    json += "\"cluster\":[" + u(result.cluster.localOperands) + "," +
+            u(result.cluster.crossOperands) + "],";
+    json += "\"rf_reads\":[" + u(c.reads[0]) + "," + u(c.reads[1]) + "," +
+            u(c.reads[2]) + "],";
+    json += "\"rf_writes\":[" + u(c.writes[0]) + "," + u(c.writes[1]) +
+            "," + u(c.writes[2]) + "],";
+    json += "\"short_probe_reads\":" + u(c.shortProbeReads) + ",";
+    json += "\"short_file_writes\":" + u(result.shortFileWrites) + ",";
+    json += "\"long_alloc_stalls\":" + u(result.longAllocStalls) + ",";
+    json += "\"recoveries\":" + u(result.recoveries) + ",";
+    json += "\"issue_stall_cycles\":" + u(result.issueStallCycles) + ",";
+    json += "\"avg_live_long\":" + d(result.avgLiveLong) + ",";
+    json += "\"avg_live_short\":" + d(result.avgLiveShort) + ",";
+    json += "\"port_conflict_ops\":" + u(result.portConflictOps) + ",";
+    json += "\"port_conflict_cycles\":" + u(result.portConflictCycles);
+    if (include_host_times) {
+        json += ",\"wall_seconds\":" + d(result.wallSeconds);
+        json += ",\"trace_build_seconds\":" + d(result.traceBuildSeconds);
+        json += ",\"sim_seconds\":" + d(result.simSeconds);
+    }
+    json += "}";
+    return json;
+}
+
+namespace
+{
+
+/**
+ * Minimal strict scanner for the fixed runResultJsonFull() layout.
+ * Every helper returns false (and poisons the cursor) on mismatch, so
+ * a truncated or corrupted line fails cleanly instead of fataling.
+ */
+struct JsonCursor
+{
+    const char *p;
+    const char *end;
+
+    bool
+    literal(std::string_view text)
+    {
+        if (static_cast<size_t>(end - p) < text.size() ||
+            std::string_view(p, text.size()) != text)
+            return false;
+        p += text.size();
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (p == end || *p != '"')
+            return false;
+        ++p;
+        out.clear();
+        while (p != end && *p != '"') {
+            char ch = *p++;
+            if (ch != '\\') {
+                out += ch;
+                continue;
+            }
+            if (p == end)
+                return false;
+            char esc = *p++;
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  if (end - p < 4)
+                      return false;
+                  unsigned code = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      char h = *p++;
+                      code <<= 4;
+                      if (h >= '0' && h <= '9')
+                          code |= static_cast<unsigned>(h - '0');
+                      else if (h >= 'a' && h <= 'f')
+                          code |= static_cast<unsigned>(h - 'a' + 10);
+                      else
+                          return false;
+                  }
+                  // jsonString() only emits \u00xx control escapes.
+                  if (code > 0xff)
+                      return false;
+                  out += static_cast<char>(code);
+                  break;
+              }
+              default: return false;
+            }
+        }
+        if (p == end)
+            return false;
+        ++p; // closing quote
+        return true;
+    }
+
+    bool
+    number(u64 &out)
+    {
+        const char *start = p;
+        u64 v = 0;
+        while (p != end && *p >= '0' && *p <= '9')
+            v = v * 10 + static_cast<u64>(*p++ - '0');
+        if (p == start)
+            return false;
+        out = v;
+        return true;
+    }
+
+    bool
+    number(double &out)
+    {
+        // strtod needs a terminated buffer; numbers are short.
+        char buf[64];
+        size_t n = 0;
+        while (p != end && n < sizeof(buf) - 1 &&
+               (*p == '-' || *p == '+' || *p == '.' || *p == 'e' ||
+                *p == 'E' || (*p >= '0' && *p <= '9')))
+            buf[n++] = *p++;
+        if (!n)
+            return false;
+        buf[n] = '\0';
+        char *parse_end = nullptr;
+        out = std::strtod(buf, &parse_end);
+        return parse_end == buf + n;
+    }
+
+    template <typename T, size_t N>
+    bool
+    array(T (&out)[N])
+    {
+        if (!literal("["))
+            return false;
+        for (size_t i = 0; i < N; ++i) {
+            if (i && !literal(","))
+                return false;
+            if (!number(out[i]))
+                return false;
+        }
+        return literal("]");
+    }
+};
+
+} // namespace
+
+std::optional<core::RunResult>
+parseRunResultJson(std::string_view json)
+{
+    JsonCursor cur{json.data(), json.data() + json.size()};
+    core::RunResult r;
+
+    auto str_field = [&](std::string_view key, std::string &out,
+                         bool leading_comma) {
+        return cur.literal(leading_comma ? ",\"" : "\"") &&
+               cur.literal(key) && cur.literal("\":") && cur.string(out);
+    };
+    auto u64_field = [&](std::string_view key, u64 &out) {
+        return cur.literal(",\"") && cur.literal(key) &&
+               cur.literal("\":") && cur.number(out);
+    };
+    auto dbl_field = [&](std::string_view key, double &out) {
+        return cur.literal(",\"") && cur.literal(key) &&
+               cur.literal("\":") && cur.number(out);
+    };
+
+    u64 bypass[4];
+    u64 cluster[2];
+    if (!(cur.literal("{") &&
+          str_field("workload", r.workload, false) &&
+          str_field("config", r.config, true) &&
+          u64_field("cycles", r.cycles) &&
+          u64_field("committed_insts", r.committedInsts) &&
+          dbl_field("ipc", r.ipc) &&
+          u64_field("cond_branches", r.condBranches) &&
+          u64_field("branch_mispredicts", r.branchMispredicts) &&
+          cur.literal(",\"bypass\":") && cur.array(bypass) &&
+          cur.literal(",\"operand_mix\":") &&
+          cur.array(r.operandMix.counts) &&
+          cur.literal(",\"cluster\":") && cur.array(cluster) &&
+          cur.literal(",\"rf_reads\":") &&
+          cur.array(r.intRfAccesses.reads) &&
+          cur.literal(",\"rf_writes\":") &&
+          cur.array(r.intRfAccesses.writes) &&
+          u64_field("short_probe_reads",
+                    r.intRfAccesses.shortProbeReads) &&
+          u64_field("short_file_writes", r.shortFileWrites) &&
+          u64_field("long_alloc_stalls", r.longAllocStalls) &&
+          u64_field("recoveries", r.recoveries) &&
+          u64_field("issue_stall_cycles", r.issueStallCycles) &&
+          dbl_field("avg_live_long", r.avgLiveLong) &&
+          dbl_field("avg_live_short", r.avgLiveShort) &&
+          u64_field("port_conflict_ops", r.portConflictOps) &&
+          u64_field("port_conflict_cycles", r.portConflictCycles)))
+        return std::nullopt;
+
+    // Optional host-time tail.
+    if (cur.p != cur.end && *cur.p == ',') {
+        if (!(dbl_field("wall_seconds", r.wallSeconds) &&
+              dbl_field("trace_build_seconds", r.traceBuildSeconds) &&
+              dbl_field("sim_seconds", r.simSeconds)))
+            return std::nullopt;
+    }
+    if (!cur.literal("}") || cur.p != cur.end)
+        return std::nullopt;
+
+    r.bypass.restore(bypass[0], bypass[1], bypass[2], bypass[3]);
+    r.cluster.localOperands = cluster[0];
+    r.cluster.crossOperands = cluster[1];
+    return r;
 }
 
 std::string

@@ -7,6 +7,7 @@
 #ifndef CARF_SIM_REPORTING_HH
 #define CARF_SIM_REPORTING_HH
 
+#include <optional>
 #include <string>
 
 #include "common/table.hh"
@@ -34,6 +35,30 @@ std::string runResultJson(const core::RunResult &result);
 
 /** JSON array of runResultJson objects for a whole suite run. */
 std::string suiteRunJson(const SuiteRun &run);
+
+/**
+ * Full-fidelity JSON object for one run: every RunResult field, in a
+ * fixed order, with doubles printed at %.17g so parsing recovers the
+ * exact bit pattern. This is the result-store value format and the
+ * carf_sweep NDJSON record; runResultJson() above stays the compact
+ * report format.
+ *
+ * @param include_host_times emit the nondeterministic wall/trace/sim
+ *        second fields (stored entries keep them; merged sweep output
+ *        drops them so interrupted-and-resumed runs compare
+ *        bit-identical to uninterrupted ones)
+ */
+std::string runResultJsonFull(const core::RunResult &result,
+                              bool include_host_times = true);
+
+/**
+ * Parse a runResultJsonFull() object back into a RunResult.
+ * Strict about the fixed field order; the host-time tail is optional
+ * (absent fields stay 0). Returns nullopt on any malformed input —
+ * the result store treats that as a corrupt shard line and skips it.
+ */
+std::optional<core::RunResult>
+parseRunResultJson(std::string_view json);
 
 /** JSON string literal (quotes and escapes @p s). */
 std::string jsonString(const std::string &s);

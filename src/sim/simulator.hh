@@ -15,6 +15,8 @@
 namespace carf::sim
 {
 
+class ResultStore;
+
 /** Run-level options independent of the core configuration. */
 struct SimOptions
 {
@@ -45,6 +47,16 @@ struct SimOptions
     bool lockstep = true;
     /** Lockstep lanes per group; 0 means unbounded. */
     unsigned lockstepMaxGroup = 0;
+    /**
+     * Optional content-addressed result cache (sim/result_store.hh).
+     * ExperimentRunner::run() resolves each job's key against it
+     * before simulating: a hit fills the result slot with the stored
+     * bit-identical RunResult, a miss simulates and writes back. Jobs
+     * carrying a live-value oracle bypass the store (a cache hit
+     * would skip the oracle's samples). simulate() itself ignores
+     * this field — read-through lives in the runner.
+     */
+    ResultStore *resultStore = nullptr;
 };
 
 /**

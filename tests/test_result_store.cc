@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Content-addressed result store suite: key canonicalization (stable
+ * under field reordering, sensitive to every simulation-relevant
+ * field, invalidated by the build fingerprint), bit-identical
+ * round-trips through the on-disk shards, concurrent writers,
+ * corrupt/truncated shard tolerance, and the ExperimentRunner
+ * read-through path including kill/resume equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "common/fingerprint.hh"
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "sim/experiment_runner.hh"
+#include "sim/oracle.hh"
+#include "sim/reporting.hh"
+#include "sim/result_store.hh"
+#include "workloads/workload.hh"
+
+namespace carf::sim
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Unique scratch directory, removed on scope exit. */
+struct TempDir
+{
+    fs::path path;
+
+    explicit TempDir(const std::string &tag)
+    {
+        path = fs::temp_directory_path() /
+               ("carf_store_test_" + tag + "_" +
+                std::to_string(::getpid()));
+        fs::remove_all(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+
+    std::string str() const { return path.string(); }
+};
+
+SimOptions
+quick(u64 insts = 10000)
+{
+    SimOptions options;
+    options.maxInsts = insts;
+    return options;
+}
+
+/**
+ * A RunResult with every field set to a distinctive value, including
+ * doubles that do not round-trip through short decimal
+ * representations — the round-trip tests must prove %.17g fidelity,
+ * not luck.
+ */
+core::RunResult
+fabricatedResult()
+{
+    core::RunResult r;
+    r.workload = "fabricated";
+    r.config = "test-config";
+    r.cycles = 123456789;
+    r.committedInsts = 987654321;
+    r.ipc = 1.0 / 3.0;
+    r.condBranches = 4242;
+    r.branchMispredicts = 137;
+    r.bypass.restore(11, 13, 17, 19);
+    for (unsigned b = 0; b < core::OperandMix::NumBuckets; ++b)
+        r.operandMix.counts[b] = 100 + b;
+    r.cluster.localOperands = 23;
+    r.cluster.crossOperands = 29;
+    for (unsigned t = 0; t < 3; ++t) {
+        r.intRfAccesses.reads[t] = 31 + t;
+        r.intRfAccesses.writes[t] = 37 + t;
+    }
+    r.intRfAccesses.shortProbeReads = 41;
+    r.shortFileWrites = 43;
+    r.longAllocStalls = 47;
+    r.recoveries = 53;
+    r.issueStallCycles = 59;
+    r.avgLiveLong = 0.1 + 0.2; // famously not 0.3
+    r.avgLiveShort = 2.0 / 7.0;
+    r.portConflictOps = 61;
+    r.portConflictCycles = 67;
+    r.wallSeconds = 1.23456789012345678;
+    r.traceBuildSeconds = 0.000123456789;
+    r.simSeconds = 1.234444433333;
+    return r;
+}
+
+} // namespace
+
+TEST(ResultStore, Sha256MatchesKnownVectors)
+{
+    // FIPS 180-4 vectors: the key derivation is only as trustworthy
+    // as the hash underneath it.
+    EXPECT_EQ(Sha256::hashHex(""),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+    EXPECT_EQ(Sha256::hashHex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+    Sha256 chunked;
+    chunked.update("ab");
+    chunked.update("c");
+    EXPECT_EQ(chunked.hexDigest(), Sha256::hashHex("abc"));
+}
+
+TEST(ResultStore, KeyStableUnderFieldReordering)
+{
+    auto fields = resultKeyFields("counters", core::CoreParams::baseline(),
+                                  quick(), "fp0");
+    std::string canonical = resultKeyFromFields(fields);
+
+    std::mt19937 rng(12345);
+    for (int trial = 0; trial < 8; ++trial) {
+        auto shuffled = fields;
+        std::shuffle(shuffled.begin(), shuffled.end(), rng);
+        EXPECT_EQ(resultKeyFromFields(shuffled), canonical);
+    }
+}
+
+TEST(ResultStore, KeyCoversSimulationRelevantFields)
+{
+    auto base_params = core::CoreParams::baseline();
+    auto base_options = quick();
+    std::string base =
+        resultKeyFromFields(resultKeyFields("counters", base_params,
+                                            base_options, "fp0"));
+
+    // Workload identity.
+    EXPECT_NE(resultKeyFromFields(resultKeyFields("crc", base_params,
+                                                  base_options, "fp0")),
+              base);
+
+    // A CoreParams field from each bundle the key covers.
+    auto p = base_params;
+    p.physIntRegs++;
+    EXPECT_NE(resultKeyFromFields(
+                  resultKeyFields("counters", p, base_options, "fp0")),
+              base);
+    p = base_params;
+    p.memory.memoryLatency++;
+    EXPECT_NE(resultKeyFromFields(
+                  resultKeyFields("counters", p, base_options, "fp0")),
+              base);
+    p = base_params;
+    p.regFileBackend = "content-aware";
+    EXPECT_NE(resultKeyFromFields(
+                  resultKeyFields("counters", p, base_options, "fp0")),
+              base);
+
+    // SimOptions that alter the run.
+    auto o = base_options;
+    o.maxInsts++;
+    EXPECT_NE(resultKeyFromFields(
+                  resultKeyFields("counters", base_params, o, "fp0")),
+              base);
+    o = base_options;
+    o.fastForward = 1000;
+    EXPECT_NE(resultKeyFromFields(
+                  resultKeyFields("counters", base_params, o, "fp0")),
+              base);
+}
+
+TEST(ResultStore, FingerprintInvalidatesKeys)
+{
+    auto params = core::CoreParams::baseline();
+    auto options = quick();
+    EXPECT_NE(resultKeyFromFields(
+                  resultKeyFields("counters", params, options, "fpA")),
+              resultKeyFromFields(
+                  resultKeyFields("counters", params, options, "fpB")));
+
+    // And the live binary's fingerprint is a plausible digest.
+    std::string fp = buildFingerprint();
+    EXPECT_EQ(fp.size(), 64u);
+    EXPECT_EQ(fp.find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+}
+
+TEST(ResultStore, HitReturnsBitIdenticalRunResult)
+{
+    TempDir dir("roundtrip");
+    core::RunResult original = fabricatedResult();
+
+    {
+        ResultStore store(dir.str(), "fp0", 1);
+        EXPECT_FALSE(store.get("k1").has_value());
+        EXPECT_EQ(store.misses(), 1u);
+        store.put("k1", original);
+        EXPECT_EQ(store.size(), 1u);
+    }
+
+    // Reopen from disk: the hit must round-trip every field bitwise,
+    // host times included.
+    ResultStore store(dir.str(), "fp0", 1);
+    EXPECT_EQ(store.size(), 1u);
+    auto hit = store.get("k1");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_EQ(runResultJsonFull(*hit), runResultJsonFull(original));
+    // Bitwise on the nasty doubles, not just string-equal.
+    EXPECT_EQ(hit->ipc, original.ipc);
+    EXPECT_EQ(hit->avgLiveLong, original.avgLiveLong);
+    EXPECT_EQ(hit->wallSeconds, original.wallSeconds);
+}
+
+TEST(ResultStore, ParseRejectsMalformedJson)
+{
+    std::string good = runResultJsonFull(fabricatedResult());
+    ASSERT_TRUE(parseRunResultJson(good).has_value());
+
+    EXPECT_FALSE(parseRunResultJson("").has_value());
+    EXPECT_FALSE(parseRunResultJson("{").has_value());
+    EXPECT_FALSE(parseRunResultJson("null").has_value());
+    // Truncation anywhere must fail, never misparse.
+    EXPECT_FALSE(
+        parseRunResultJson(good.substr(0, good.size() / 2)).has_value());
+    EXPECT_FALSE(
+        parseRunResultJson(good.substr(0, good.size() - 1)).has_value());
+}
+
+TEST(ResultStore, ConcurrentWriters)
+{
+    TempDir dir("concurrent");
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kPerThread = 25;
+
+    {
+        ResultStore store(dir.str(), "fp0", 4);
+        std::vector<std::thread> pool;
+        for (unsigned t = 0; t < kThreads; ++t) {
+            pool.emplace_back([&store, t] {
+                for (unsigned i = 0; i < kPerThread; ++i) {
+                    core::RunResult r = fabricatedResult();
+                    r.cycles = t * 1000 + i;
+                    r.workload = strprintf("w%u_%u", t, i);
+                    store.put(strprintf("key_%u_%u", t, i), r);
+                    // Interleave reads with the writes.
+                    store.get(strprintf("key_%u_%u", t, i));
+                    store.get("never-written");
+                }
+            });
+        }
+        for (auto &th : pool)
+            th.join();
+        EXPECT_EQ(store.size(), kThreads * kPerThread);
+    }
+
+    // Everything survives a reload, regardless of which shard each
+    // writer landed in.
+    ResultStore store(dir.str(), "fp0", 4);
+    EXPECT_EQ(store.size(), kThreads * kPerThread);
+    EXPECT_EQ(store.skippedLines(), 0u);
+    for (unsigned t = 0; t < kThreads; ++t)
+        for (unsigned i = 0; i < kPerThread; ++i) {
+            auto hit = store.get(strprintf("key_%u_%u", t, i));
+            ASSERT_TRUE(hit.has_value());
+            EXPECT_EQ(hit->cycles, t * 1000 + i);
+        }
+}
+
+TEST(ResultStore, CorruptShardToleratedWithSkip)
+{
+    TempDir dir("corrupt");
+    {
+        ResultStore store(dir.str(), "fp0", 1);
+        store.put("good1", fabricatedResult());
+        store.put("good2", fabricatedResult());
+    }
+
+    // Append garbage plus a torn (newline-less) record fragment, the
+    // post-SIGKILL shapes.
+    auto shard = dir.path / "shard-000.ndjson";
+    {
+        std::ofstream f(shard, std::ios::app | std::ios::binary);
+        f << "this is not json\n";
+        f << "{\"v\":1,\"fingerprint\":\"fp0\",\"key\":\"torn\",\"resu";
+    }
+
+    ResultStore store(dir.str(), "fp0", 1);
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_EQ(store.skippedLines(), 2u);
+    EXPECT_TRUE(store.get("good1").has_value());
+    EXPECT_FALSE(store.get("torn").has_value());
+
+    // A put through the reopened store must seal the torn tail so the
+    // new record is loadable afterwards.
+    store.put("good3", fabricatedResult());
+    ResultStore reloaded(dir.str(), "fp0", 1);
+    EXPECT_EQ(reloaded.size(), 3u);
+    EXPECT_TRUE(reloaded.get("good3").has_value());
+}
+
+TEST(ResultStore, IndexWrittenAtomically)
+{
+    TempDir dir("index");
+    ResultStore store(dir.str(), "fp0", 1);
+    store.put("k", fabricatedResult());
+    store.writeIndex();
+
+    std::ifstream f(dir.path / "index.json");
+    ASSERT_TRUE(f.good());
+    std::string contents((std::istreambuf_iterator<char>(f)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_NE(contents.find("\"entries\":1"), std::string::npos);
+    EXPECT_NE(contents.find("\"fp0\""), std::string::npos);
+    // No temp file left behind by the rename protocol.
+    EXPECT_FALSE(fs::exists(dir.path / "index.json.tmp"));
+}
+
+TEST(ResultStore, RunnerReadsThroughStore)
+{
+    TempDir dir("runner");
+    ResultStore store(dir.str(), buildFingerprint());
+
+    auto options = quick();
+    options.resultStore = &store;
+    std::vector<ExperimentJob> jobs = {
+        {workloads::findWorkload("counters"), core::CoreParams::baseline(),
+         options, "a", nullptr},
+        {workloads::findWorkload("crc"), core::CoreParams::baseline(),
+         options, "b", nullptr},
+    };
+
+    ExperimentRunner runner(2);
+    unsigned cached_seen = 0;
+    auto first = runner.run(jobs);
+    EXPECT_EQ(store.hits(), 0u);
+    EXPECT_EQ(store.misses(), 2u);
+    EXPECT_EQ(store.size(), 2u);
+
+    auto second = runner.run(
+        jobs, [&](const ExperimentProgress &p) {
+            if (p.cached)
+                cached_seen++;
+        });
+    EXPECT_EQ(store.hits(), 2u);
+    EXPECT_EQ(cached_seen, 2u);
+    ASSERT_EQ(second.size(), first.size());
+    for (size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(runResultJsonFull(first[i]),
+                  runResultJsonFull(second[i]));
+}
+
+TEST(ResultStore, OracleJobsBypassStore)
+{
+    TempDir dir("oracle");
+    ResultStore store(dir.str(), buildFingerprint());
+
+    auto options = quick(5000);
+    options.resultStore = &store;
+    options.oracleSamplePeriod = 100;
+    LiveValueOracle oracle;
+    std::vector<ExperimentJob> jobs = {
+        {workloads::findWorkload("counters"), core::CoreParams::baseline(),
+         options, "oracle-job", &oracle},
+    };
+
+    ExperimentRunner runner(1);
+    runner.run(jobs);
+    u64 samples_first = oracle.samples();
+    EXPECT_GT(samples_first, 0u);
+    // The store must see neither a lookup nor an insert: a cache hit
+    // would silently skip the oracle's sampling side-channel.
+    EXPECT_EQ(store.hits() + store.misses(), 0u);
+    EXPECT_EQ(store.size(), 0u);
+
+    runner.run(jobs);
+    EXPECT_EQ(oracle.samples(), 2 * samples_first);
+    EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(ResultStore, ResumeMatchesUninterrupted)
+{
+    // A partial pass (as if killed) followed by a full pass must give
+    // the same results as one uninterrupted storeless pass.
+    auto params = core::CoreParams::contentAware();
+    const auto &suite = workloads::intSuite();
+
+    auto makeJobs = [&](ResultStore *store) {
+        auto options = quick();
+        options.resultStore = store;
+        std::vector<ExperimentJob> jobs;
+        for (const auto &w : suite)
+            jobs.push_back({w, params, options, w.name, nullptr});
+        return jobs;
+    };
+
+    ExperimentRunner runner(2);
+    auto reference = runner.run(makeJobs(nullptr));
+
+    TempDir dir("resume");
+    {
+        // "Interrupted" pass: only the first third of the suite.
+        ResultStore store(dir.str(), buildFingerprint());
+        auto jobs = makeJobs(&store);
+        jobs.resize(suite.size() / 3);
+        runner.run(jobs);
+    }
+
+    ResultStore store(dir.str(), buildFingerprint());
+    auto resumed = runner.run(makeJobs(&store));
+    EXPECT_EQ(store.hits(), suite.size() / 3);
+    ASSERT_EQ(resumed.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i)
+        EXPECT_EQ(runResultJsonFull(reference[i], false),
+                  runResultJsonFull(resumed[i], false))
+            << suite[i].name;
+}
+
+} // namespace carf::sim
