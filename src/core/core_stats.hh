@@ -8,6 +8,7 @@
 #define CARF_CORE_CORE_STATS_HH
 
 #include <string>
+#include <vector>
 
 #include "common/stats.hh"
 #include "core/bypass.hh"
@@ -121,6 +122,25 @@ struct RunResult
     u64 portConflictOps = 0;
     /** Cycles with at least one model-level read-port refusal. */
     u64 portConflictCycles = 0;
+
+    // --- SMT aggregate fields (defaults describe a solo run, so a
+    // --- solo RunResult round-trips unchanged) ---
+
+    /** Hardware threads in the run (1 for the solo pipeline). */
+    unsigned smtThreads = 1;
+    /** Per-thread committed instructions (empty for solo runs). */
+    std::vector<u64> smtThreadInsts;
+    /** Per-thread IPC (empty for solo runs). */
+    std::vector<double> smtThreadIpc;
+    /** Short-typed writebacks hitting a resident group (SMT runs). */
+    u64 smtShortHits = 0;
+    /** Subset of smtShortHits on a group placed by another thread. */
+    u64 smtCrossShortHits = 0;
+    /**
+     * Longest streak of cycles any stalled ROB head waited for its
+     * §3.2 forced-write grant (recovery-fairness starvation bound).
+     */
+    u64 smtMaxRecoveryWait = 0;
 
     /**
      * Host wall-clock seconds this run took end to end. Always equals

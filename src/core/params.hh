@@ -112,6 +112,14 @@ struct CoreParams
     unsigned oracleSamplePeriod = 0;
 
     /**
+     * Hardware threads sharing the core (SMT, §6 / ROADMAP item 5).
+     * 1 runs the solo pipeline; >1 runs SmtPipeline with per-thread
+     * RAT/ROB/LSQ partitions over shared register files, queues, FUs,
+     * caches, and predictor.
+     */
+    unsigned smtThreads = 1;
+
+    /**
      * Derived: bypass window in cycles for the integer file — the
      * number of cycles after completion during which a result can be
      * forwarded. One level per writeback stage plus the final

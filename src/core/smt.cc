@@ -22,6 +22,76 @@ constexpr Cycle watchdogCycles = 200000;
 
 } // namespace
 
+double
+SmtResult::fairness() const
+{
+    double lo = 0.0, hi = 0.0;
+    bool first = true;
+    for (const RunResult &t : threads) {
+        if (first) {
+            lo = hi = t.ipc;
+            first = false;
+        } else {
+            lo = std::min(lo, t.ipc);
+            hi = std::max(hi, t.ipc);
+        }
+    }
+    return hi > 0.0 ? lo / hi : 0.0;
+}
+
+RunResult
+SmtResult::aggregate() const
+{
+    RunResult agg;
+    if (threads.empty())
+        return agg;
+
+    // Thread 0 carries the shared-file statistics (access counts,
+    // Short allocation writes, occupancy averages, port conflicts);
+    // start from its record and fold the partners' per-thread
+    // counters in.
+    agg = threads[0];
+    u64 bypassed_int = agg.bypass.bypassed(false);
+    u64 bypassed_fp = agg.bypass.bypassed(true);
+    u64 regfile_int = agg.bypass.regFileReads(false);
+    u64 regfile_fp = agg.bypass.regFileReads(true);
+    for (size_t t = 1; t < threads.size(); ++t) {
+        const RunResult &r = threads[t];
+        agg.workload += "+" + r.workload;
+        agg.committedInsts += r.committedInsts;
+        agg.condBranches += r.condBranches;
+        agg.branchMispredicts += r.branchMispredicts;
+        bypassed_int += r.bypass.bypassed(false);
+        bypassed_fp += r.bypass.bypassed(true);
+        regfile_int += r.bypass.regFileReads(false);
+        regfile_fp += r.bypass.regFileReads(true);
+        for (unsigned b = 0; b < OperandMix::NumBuckets; ++b)
+            agg.operandMix.counts[b] += r.operandMix.counts[b];
+        agg.cluster.localOperands += r.cluster.localOperands;
+        agg.cluster.crossOperands += r.cluster.crossOperands;
+        agg.longAllocStalls += r.longAllocStalls;
+        agg.recoveries += r.recoveries;
+        agg.issueStallCycles += r.issueStallCycles;
+    }
+    agg.bypass.restore(bypassed_int, bypassed_fp, regfile_int,
+                       regfile_fp);
+    agg.cycles = cycles;
+    agg.ipc = cycles ? static_cast<double>(agg.committedInsts) / cycles
+                     : 0.0;
+
+    agg.smtThreads = static_cast<unsigned>(threads.size());
+    agg.smtThreadInsts.clear();
+    agg.smtThreadIpc.clear();
+    for (const RunResult &r : threads) {
+        agg.smtThreadInsts.push_back(r.committedInsts);
+        agg.smtThreadIpc.push_back(r.ipc);
+    }
+    agg.smtShortHits = sharing.totalShortHits();
+    agg.smtCrossShortHits = sharing.totalCrossShortHits();
+    agg.smtMaxRecoveryWait = maxRecoveryWait;
+    return agg;
+}
+
 SmtPipeline::SmtPipeline(const CoreParams &params, unsigned num_threads)
     : params_(params),
       numThreads_(num_threads),
@@ -32,8 +102,7 @@ SmtPipeline::SmtPipeline(const CoreParams &params, unsigned num_threads)
       fpTags_(params.physFpRegs),
       intIq_(params.intIqSize),
       fpIq_(params.fpIqSize),
-      gshare_(params.gshareHistoryBits),
-      btb_(params.btbEntries),
+      predictors_(params),
       memory_(params.memory),
       threads_(num_threads)
 {
@@ -52,6 +121,7 @@ SmtPipeline::SmtPipeline(const CoreParams &params, unsigned num_threads)
                                   params_.regFileParams(), "intRf");
     fpRf_ = std::make_unique<regfile::BaselineRegFile>(
         "fpRf", params_.physFpRegs);
+    intRf_->setThreadCount(num_threads);
 
     unsigned rob_each = params_.robSize / num_threads;
     unsigned lsq_each = params_.lsqSize / num_threads;
@@ -75,42 +145,6 @@ SmtPipeline::SmtPipeline(const CoreParams &params, unsigned num_threads)
 
 SmtPipeline::~SmtPipeline() = default;
 
-bool
-SmtPipeline::predictBranch(unsigned tid, const DynOp &op)
-{
-    Thread &thread = threads_[tid];
-    u64 pc = saltedPc(tid, op.pc);
-    bool correct = true;
-
-    if (isa::isConditionalBranch(op.op)) {
-        ++thread.result.condBranches;
-        bool pred = gshare_.predict(pc);
-        gshare_.update(pc, op.taken);
-        if (pred != op.taken) {
-            correct = false;
-        } else if (op.taken) {
-            u64 target;
-            bool hit = btb_.lookup(pc, target);
-            if (!hit || target != op.nextPc)
-                correct = false;
-        }
-        if (op.taken)
-            btb_.update(pc, op.nextPc);
-        if (!correct)
-            ++thread.result.branchMispredicts;
-        return correct;
-    }
-
-    if (op.op == Opcode::JAL || op.op == Opcode::JALR) {
-        u64 target = 0;
-        bool hit = btb_.lookup(pc, target);
-        correct = hit && target == op.nextPc;
-        btb_.update(pc, op.nextPc);
-        return correct;
-    }
-    return true;
-}
-
 std::vector<unsigned>
 SmtPipeline::icountOrder() const
 {
@@ -130,7 +164,6 @@ SmtPipeline::doCommit(Cycle cur)
 {
     (void)cur;
     unsigned budget = params_.commitWidth;
-    u64 total_committed = 0;
     for (unsigned off = 0; off < numThreads_ && budget > 0; ++off) {
         unsigned tid = (rrCounter_ + off) % numThreads_;
         Thread &thread = threads_[tid];
@@ -152,19 +185,16 @@ SmtPipeline::doCommit(Cycle cur)
             else if (head.op.isStore())
                 thread.lsq->commitStore(head.op.seq);
             ++thread.result.committedInsts;
-            ++total_committed;
+            // ROB-interval epochs for the shared Short file are driven
+            // by aggregate commit progress; the tick fires between
+            // commits, exactly as the solo pipeline's does.
+            ++committedTick_;
+            if (committedTick_ >= params_.robSize) {
+                committedTick_ = 0;
+                intRf_->onRobInterval();
+            }
             thread.rob->popHead();
             --budget;
-        }
-    }
-    // ROB-interval epochs for the shared Short file are driven by
-    // aggregate commit progress.
-    static_assert(sizeof(total_committed) == 8);
-    if (total_committed > 0) {
-        committedTick_ += total_committed;
-        if (committedTick_ >= params_.robSize) {
-            committedTick_ = 0;
-            intRf_->onRobInterval();
         }
     }
 }
@@ -174,6 +204,13 @@ SmtPipeline::doWriteback(Cycle cur)
 {
     unsigned int_ports = params_.intRfWritePorts;
     unsigned fp_ports = params_.fpRfWritePorts;
+    // §3.2 pseudo-deadlock recovery under contention: at most one
+    // forced Long grant per cycle, awarded to the first stalled ROB
+    // head in rotating thread order. The rotation (rrCounter_
+    // advances every cycle) guarantees every thread's head
+    // periodically walks first, so no thread can be locked out;
+    // headStallWait measures how long any head actually waited.
+    bool force_grant_used = false;
 
     for (unsigned off = 0; off < numThreads_; ++off) {
         unsigned tid = (rrCounter_ + off) % numThreads_;
@@ -202,16 +239,29 @@ SmtPipeline::doWriteback(Cycle cur)
             }
             if (int_ports == 0)
                 continue;
+            intRf_->setActiveThread(tid);
             regfile::WriteAccess access =
                 intRf_->write(inst.destTag, inst.op.rdValue);
             if (access.stalled) {
-                if (&inst == &thread.rob->head()) {
+                ++thread.result.longAllocStalls;
+                bool at_head = &inst == &thread.rob->head();
+                if (at_head && !force_grant_used) {
+                    force_grant_used = true;
                     access = intRf_->writeForced(inst.destTag,
                                                  inst.op.rdValue);
+                    ++thread.result.recoveries;
+                    thread.headStallWait = 0;
                 } else {
+                    if (at_head) {
+                        ++thread.headStallWait;
+                        maxRecoveryWait_ = std::max(
+                            maxRecoveryWait_, thread.headStallWait);
+                    }
                     inst.wbStalledOnLong = true;
                     continue;
                 }
+            } else if (&inst == &thread.rob->head()) {
+                thread.headStallWait = 0;
             }
             --int_ports;
             TagInfo &ti = tagInfo(inst.destTag, false);
@@ -241,6 +291,7 @@ SmtPipeline::tryIssueOne(Cycle cur, unsigned tid, InFlightInst &inst,
         return false;
     if (stall_int_writers && inst.writesIntDest() &&
         &inst != &thread.rob->head()) {
+        thread.longStallSeen = true;
         return false;
     }
 
@@ -359,8 +410,48 @@ SmtPipeline::tryIssueOne(Cycle cur, unsigned tid, InFlightInst &inst,
     consume_src(s1, so1);
     consume_src(s2, so2);
 
-    if (is_mem)
+    // Table 4: source operand type mix over integer operands, and the
+    // §6 clustering estimate — same accounting as the solo pipeline,
+    // attributed to the issuing thread.
+    if (intRf_->hasValueTaxonomy()) {
+        bool has_simple = false, has_short = false, has_long = false;
+        auto type_of = [&](const Src &s) {
+            return intRf_->classifyPeek(s.value);
+        };
+        auto mix_src = [&](const Src &s) {
+            if (!s.used || s.isFp)
+                return;
+            switch (type_of(s)) {
+              case ValueType::Simple: has_simple = true; break;
+              case ValueType::Short: has_short = true; break;
+              case ValueType::Long: has_long = true; break;
+            }
+        };
+        mix_src(s1);
+        mix_src(s2);
+        thread.result.operandMix.record(has_simple, has_short,
+                                        has_long);
+
+        bool u1 = s1.used && !s1.isFp;
+        bool u2 = s2.used && !s2.isFp;
+        if (u1 && u2) {
+            ValueType t1 = type_of(s1);
+            ValueType t2 = type_of(s2);
+            if (t1 == t2) {
+                thread.result.cluster.localOperands += 2;
+            } else {
+                ++thread.result.cluster.localOperands;
+                ++thread.result.cluster.crossOperands;
+            }
+        } else if (u1 || u2) {
+            ++thread.result.cluster.localOperands;
+        }
+    }
+
+    if (is_mem) {
+        intRf_->setActiveThread(tid);
         intRf_->noteAddress(inst.op.effAddr);
+    }
     if (is_store)
         thread.lsq->storeIssued(inst.op.seq, inst.completeCycle);
     if (inst.mispredicted) {
@@ -381,6 +472,9 @@ SmtPipeline::doIssue(Cycle cur)
     unsigned fp_rd = params_.fpRfReadPorts;
     bool stall_int_writers = intRf_->shouldStallIssue();
 
+    for (Thread &thread : threads_)
+        thread.longStallSeen = false;
+
     for (unsigned off = 0; off < numThreads_ && budget > 0; ++off) {
         unsigned tid = (rrCounter_ + off) % numThreads_;
         for (InFlightInst &inst : *threads_[tid].rob) {
@@ -395,6 +489,11 @@ SmtPipeline::doIssue(Cycle cur)
                 --budget;
             }
         }
+    }
+
+    for (Thread &thread : threads_) {
+        if (thread.longStallSeen)
+            ++thread.result.issueStallCycles;
     }
 }
 
@@ -512,22 +611,33 @@ SmtPipeline::fetchThread(Cycle cur, unsigned tid, unsigned &budget)
     }
     unsigned line_shift = 6;
     while (budget > 0 && thread.fetchBuffer.size() < fetchBufferCap) {
-        DynOp op;
+        FetchEntry entry;
         if (thread.pendingFetchValid) {
-            op = thread.pendingFetch;
+            entry = thread.pendingFetch;
             thread.pendingFetchValid = false;
-        } else if (!thread.source->next(op)) {
-            thread.traceExhausted = true;
-            return;
+        } else {
+            if (!thread.source->next(entry.op)) {
+                thread.traceExhausted = true;
+                return;
+            }
+            // Salt the code addresses before they touch any shared
+            // structure; the record then flows through the shared
+            // predictors exactly like a solo stream (thread 0's salt
+            // is zero, so its predictions are bit-identical to the
+            // solo pipeline's).
+            entry.op.pc = saltedPc(tid, entry.op.pc);
+            entry.op.nextPc = saltedPc(tid, entry.op.nextPc);
+            predictors_.predict(entry.op, entry);
         }
+        const DynOp &op = entry.op;
 
-        u64 line = (saltedPc(tid, op.pc) * instBytes) >> line_shift;
+        u64 line = (op.pc * instBytes) >> line_shift;
         if (line != thread.lastFetchLine) {
-            Cycle lat = memory_.instAccess(saltedPc(tid, op.pc) *
-                                           instBytes);
+            Cycle lat = memory_.instAccess(op.pc * instBytes);
             thread.lastFetchLine = line;
             if (lat > params_.memory.il1.hitLatency) {
-                thread.pendingFetch = op;
+                // I-cache miss: stash the predicted record and stall.
+                thread.pendingFetch = entry;
                 thread.pendingFetchValid = true;
                 thread.lastFetchLine = ~u64{0};
                 thread.fetchResumeCycle = cur + lat;
@@ -535,17 +645,20 @@ SmtPipeline::fetchThread(Cycle cur, unsigned tid, unsigned &budget)
             }
         }
 
-        bool is_branch = op.isBranch();
-        bool correct = true;
-        if (is_branch)
-            correct = predictBranch(tid, op);
+        if (entry.isCondBranch) {
+            ++thread.result.condBranches;
+            if (!entry.predictedCorrect)
+                ++thread.result.branchMispredicts;
+        }
+        bool correct = entry.predictedCorrect;
+
         thread.fetchBuffer.push_back({op, cur, !correct});
         --budget;
         if (!correct) {
             thread.pendingRedirect = true;
             return;
         }
-        if (is_branch && op.taken)
+        if (op.isBranch() && op.taken)
             return;
     }
 }
@@ -577,6 +690,8 @@ SmtPipeline::run(std::vector<emu::TraceSource *> sources,
     Cycle cur = 0;
     u64 last_total = 0;
     Cycle last_progress = 0;
+    liveLong_.reset();
+    liveShort_.reset();
 
     auto should_stop = [&] {
         bool any_drained = false, all_drained = true;
@@ -595,6 +710,19 @@ SmtPipeline::run(std::vector<emu::TraceSource *> sources,
         doIssue(cur);
         doRename(cur);
         doFetch(cur);
+
+        regfile::RegisterFile::Occupancy occ = intRf_->occupancy();
+        liveLong_.sample(occ.liveLong);
+        liveShort_.sample(occ.liveShort);
+
+        if (checkInvariantsEveryCycle_) {
+            std::string err = intRf_->checkInvariants();
+            if (!err.empty()) {
+                panic("smt pipeline: invariant violation at cycle "
+                      "%llu: %s", (unsigned long long)cur,
+                      err.c_str());
+            }
+        }
 
         u64 total = 0;
         for (const Thread &t : threads_)
@@ -618,15 +746,25 @@ SmtPipeline::run(std::vector<emu::TraceSource *> sources,
             cur ? static_cast<double>(thread.result.committedInsts) /
                       cur
                 : 0.0;
+        // The file is shared, so its occupancy averages describe the
+        // run, not a thread; replicated so any thread's record reads
+        // like a solo RunResult.
+        thread.result.avgLiveLong = liveLong_.mean();
+        thread.result.avgLiveShort = liveShort_.mean();
         result.threads.push_back(thread.result);
     }
-    for (auto &t : result.threads) {
-        t.longAllocStalls = intRf_->writeStalls();
-        t.recoveries = intRf_->recoveries();
+    // Shared-file access counts and allocation/port totals land on
+    // the first thread's record (and thus on the aggregate).
+    if (!result.threads.empty()) {
+        RunResult &first = result.threads[0];
+        first.intRfAccesses = intRf_->accessCounts();
+        first.shortFileWrites = intRf_->shortAllocWrites();
+        regfile::RegisterFile::PortStats ps = intRf_->portStats();
+        first.portConflictOps = ps.conflictOps;
+        first.portConflictCycles = ps.conflictCycles;
     }
-    // Shared-file access counts land on the first thread's record.
-    if (!result.threads.empty())
-        result.threads[0].intRfAccesses = intRf_->accessCounts();
+    result.sharing = intRf_->sharingStats();
+    result.maxRecoveryWait = maxRecoveryWait_;
     return result;
 }
 

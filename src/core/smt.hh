@@ -1,15 +1,16 @@
 /**
  * @file
- * Simultaneous multithreading extension (paper §6): multiple hardware
+ * Simultaneous multithreading extension (paper §6): N hardware
  * threads share one content-aware integer register file.
  *
  * The paper observes that the number of *live* Long registers is far
  * below the Long file's peak-sized capacity (on average ~12.7 of 48),
  * so a single Long file can feed more than one thread. This model
- * tests that claim directly.
+ * tests that claim directly, and measures what the paper never did:
+ * how similarity sharing scales with thread count.
  *
  * Sharing/partitioning policy (EV8-flavoured, documented in
- * DESIGN.md):
+ * DESIGN.md §4.7):
  *  - shared: physical register files (the Simple/Short/Long sub-files
  *    and the tag pool), issue queues, issue/writeback/commit
  *    bandwidth, functional units, caches, branch predictor (pc salted
@@ -17,6 +18,16 @@
  *  - per-thread: architectural RATs, ROB and LSQ partitions
  *    (capacity / T each), fetch state; fetch and commit round-robin
  *    between threads.
+ *
+ * Cross-thread accounting: the shared Short file tracks which thread
+ * first placed each resident value group; a Short-typed writeback by
+ * a different thread is a *cross-thread share*
+ * (RegisterFile::SharingStats). Long pressure (write stalls,
+ * §3.2 recoveries, issue-stall cycles) is attributed per thread, and
+ * pseudo-deadlock recovery is contention-aware: at most one forced
+ * Long grant per cycle, awarded to the first stalled ROB head in
+ * rotating thread order, with a starvation counter bounding how long
+ * any head waited.
  *
  * Each thread runs its own TraceSource with its own functional
  * memory; store-load ordering is enforced within a thread only.
@@ -29,9 +40,8 @@
 #include <memory>
 #include <vector>
 
-#include "branch/btb.hh"
-#include "branch/gshare.hh"
 #include "core/core_stats.hh"
+#include "core/fetch_stream.hh"
 #include "core/issue_queue.hh"
 #include "core/lsq.hh"
 #include "core/params.hh"
@@ -44,11 +54,19 @@
 namespace carf::core
 {
 
-/** Result of an SMT run: per-thread summaries plus totals. */
+/** Result of an SMT run: per-thread summaries plus shared-file totals. */
 struct SmtResult
 {
     std::vector<RunResult> threads;
     Cycle cycles = 0;
+
+    /** Per-thread and cross-thread Short-hit counters (shared file). */
+    regfile::RegisterFile::SharingStats sharing;
+    /**
+     * Longest streak of cycles any stalled ROB head waited for its
+     * forced-write grant (recovery-fairness starvation bound).
+     */
+    u64 maxRecoveryWait = 0;
 
     /** Aggregate committed-instruction throughput. */
     double
@@ -67,6 +85,20 @@ struct SmtResult
             sum += t.committedInsts;
         return sum;
     }
+
+    /**
+     * Fairness: min/max per-thread IPC ratio (1.0 = perfectly fair,
+     * 0 = some thread starved).
+     */
+    double fairness() const;
+
+    /**
+     * Collapse the run into one RunResult: summed per-thread
+     * counters, shared-file statistics from thread 0's record,
+     * '+'-joined workload name, and the smt* fields filled in. This
+     * is what the experiment runner stores and reports.
+     */
+    RunResult aggregate() const;
 };
 
 /** Multithreaded variant of the out-of-order core. */
@@ -93,6 +125,13 @@ class SmtPipeline
      */
     SmtResult run(std::vector<emu::TraceSource *> sources,
                   bool stop_on_first_drain = true);
+
+    /**
+     * Debug gate: run the register-file model's structural
+     * checkInvariants() after every simulated cycle and panic on the
+     * first violation. Testing only — quadratic-ish cost.
+     */
+    void enableInvariantChecks() { checkInvariantsEveryCycle_ = true; }
 
     regfile::RegisterFile &intRegFile() { return *intRf_; }
 
@@ -125,14 +164,18 @@ class SmtPipeline
         bool pendingRedirect = false;
         Cycle fetchResumeCycle = 0;
         u64 lastFetchLine = ~u64{0};
-        emu::DynOp pendingFetch;
+        /** Predicted record stashed across an I-cache miss. */
+        FetchEntry pendingFetch;
         bool pendingFetchValid = false;
-        u64 committedSinceInterval = 0;
         /** Dispatched-but-not-issued instructions (ICOUNT metric). */
         unsigned iqCount = 0;
         /** Per-queue occupancy, bounded by the per-thread share cap. */
         unsigned intIqCount = 0;
         unsigned fpIqCount = 0;
+        /** Integer writers blocked by the free-Long stall this cycle. */
+        bool longStallSeen = false;
+        /** Consecutive cycles this ROB head waited for a forced grant. */
+        u64 headStallWait = 0;
         RunResult result;
 
         bool
@@ -155,7 +198,6 @@ class SmtPipeline
                      unsigned &fp_rd, bool stall_int_writers);
     bool renameOne(Cycle cur, unsigned tid);
     void fetchThread(Cycle cur, unsigned tid, unsigned &budget);
-    bool predictBranch(unsigned tid, const emu::DynOp &op);
 
     /**
      * Thread order for the front end: ICOUNT policy (Tullsen et
@@ -171,6 +213,8 @@ class SmtPipeline
      * shared predictor/BTB/I-cache index bits; the salt stands in
      * for the distinct code addresses real processes would have.
      * Low bits are perturbed too, so the *index* bits differ.
+     * Thread 0's salt is zero, keeping it bit-identical to the solo
+     * pipeline's unsalted stream.
      */
     u64 saltedPc(unsigned tid, u64 pc) const
     {
@@ -196,14 +240,21 @@ class SmtPipeline
     IssueQueue intIq_;
     IssueQueue fpIq_;
 
-    branch::Gshare gshare_;
-    branch::Btb btb_;
+    /** Shared gshare+BTB+RAS front end, fed pc-salted records. */
+    BranchPredictors predictors_;
     mem::Hierarchy memory_;
 
     std::vector<Thread> threads_;
     unsigned rrCounter_ = 0;
     /** Aggregate commits toward the next ROB-interval epoch. */
     u64 committedTick_ = 0;
+
+    /** Shared-file occupancy sampled once per cycle (solo parity). */
+    stats::Average liveLong_;
+    stats::Average liveShort_;
+    /** Starvation bound over all threads (SmtResult::maxRecoveryWait). */
+    u64 maxRecoveryWait_ = 0;
+    bool checkInvariantsEveryCycle_ = false;
 };
 
 } // namespace carf::core

@@ -75,6 +75,18 @@ ContentAwareRegFile::ContentAwareRegFile(std::string name, unsigned entries,
     freeLong_.reserve(params_.longEntries);
     for (u32 i = 0; i < params_.longEntries; ++i)
         freeLong_.push_back(params_.longEntries - 1 - i);
+    setThreadCount(1);
+}
+
+void
+ContentAwareRegFile::setThreadCount(unsigned threads)
+{
+    threadCount_ = threads > 0 ? threads : 1;
+    if (activeThread_ >= threadCount_)
+        activeThread_ = 0;
+    shortOwner_.assign(params_.sim.shortEntries(), 0);
+    sharing_.shortHits.assign(threadCount_, 0);
+    sharing_.crossShortHits.assign(threadCount_, 0);
 }
 
 void
@@ -87,6 +99,7 @@ ContentAwareRegFile::reset()
     freeLong_.clear();
     for (u32 i = 0; i < params_.longEntries; ++i)
         freeLong_.push_back(params_.longEntries - 1 - i);
+    setThreadCount(threadCount_);
 }
 
 u64
@@ -143,8 +156,12 @@ ContentAwareRegFile::writeImpl(u32 tag, u64 value, bool forced)
 
     const SimilarityParams &sim = params_.sim;
 
-    if (params_.allocShortOnAnyResult)
-        shortFile_.tryAllocate(value);
+    if (params_.allocShortOnAnyResult) {
+        unsigned alloc_idx = 0;
+        bool fresh = false;
+        if (shortFile_.tryAllocate(value, alloc_idx, fresh) && fresh)
+            notePlacement(alloc_idx);
+    }
 
     unsigned short_idx = 0;
     ValueType type = classifyValue(value, sim, shortFile_, short_idx);
@@ -162,6 +179,12 @@ ContentAwareRegFile::writeImpl(u32 tag, u64 value, bool forced)
         entry.subIndex = short_idx;
         shortFile_.addRef(short_idx);
         shortFile_.touch(short_idx);
+        // A Short-typed writeback is a hit on the resident group; when
+        // the group was first placed by a different hardware thread it
+        // is a cross-thread share (ROADMAP item 5 accounting).
+        ++sharing_.shortHits[activeThread_];
+        if (shortOwner_[short_idx] != activeThread_)
+            ++sharing_.crossShortHits[activeThread_];
         break;
       case ValueType::Long: {
         if (freeLong_.empty()) {
@@ -233,8 +256,13 @@ void
 ContentAwareRegFile::noteAddress(u64 addr)
 {
     ++shortAllocAttempts_;
-    if (shortFile_.tryAllocate(addr))
+    unsigned alloc_idx = 0;
+    bool fresh = false;
+    if (shortFile_.tryAllocate(addr, alloc_idx, fresh)) {
         ++shortAllocHits_;
+        if (fresh)
+            notePlacement(alloc_idx);
+    }
 }
 
 bool

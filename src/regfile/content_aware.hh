@@ -129,6 +129,17 @@ class ContentAwareRegFile : public RegisterFile
 
     std::string describeExtra() const override;
 
+    // --- SMT thread-context hooks ---
+
+    /** Size the per-thread sharing counters to @p threads. */
+    void setThreadCount(unsigned threads) override;
+    /** Attribute subsequent writes to hardware thread @p tid. */
+    void setActiveThread(unsigned tid) override
+    {
+        activeThread_ = tid < threadCount_ ? tid : 0;
+    }
+    SharingStats sharingStats() const override { return sharing_; }
+
     /**
      * Structural self-check (debug/testing): empty string when every
      * invariant holds, else a description of the first violation.
@@ -177,6 +188,8 @@ class ContentAwareRegFile : public RegisterFile
 
     WriteAccess writeImpl(u32 tag, u64 value, bool forced);
     u64 reconstruct(const Entry &entry) const;
+    /** Record a fresh Short-group placement by the active thread. */
+    void notePlacement(unsigned idx) { shortOwner_.at(idx) = activeThread_; }
 
     ContentAwareParams params_;
     ShortFile shortFile_;
@@ -189,6 +202,13 @@ class ContentAwareRegFile : public RegisterFile
     stats::Counter &recoveries_;
     stats::Counter &shortAllocAttempts_;
     stats::Counter &shortAllocHits_;
+
+    /** SMT sharing accounting (setThreadCount/setActiveThread). */
+    unsigned threadCount_ = 1;
+    unsigned activeThread_ = 0;
+    /** Thread whose allocation placed each slot's current group. */
+    std::vector<unsigned> shortOwner_;
+    SharingStats sharing_;
 };
 
 } // namespace carf::regfile

@@ -271,6 +271,52 @@ class RegisterFile
      */
     virtual std::string describeExtra() const { return ""; }
 
+    // --- SMT thread-context hooks ---
+
+    /**
+     * Declare how many hardware threads share this file (sizes the
+     * per-thread sharing counters). Models without sharing accounting
+     * ignore it. Called once before any thread-attributed access.
+     */
+    virtual void setThreadCount(unsigned threads) { (void)threads; }
+
+    /**
+     * Attribute subsequent accesses to hardware thread @p tid. The
+     * SMT pipeline calls this before every write it performs on a
+     * thread's behalf; single-thread callers never need to (thread 0
+     * is the default context).
+     */
+    virtual void setActiveThread(unsigned tid) { (void)tid; }
+
+    /**
+     * Per-thread Short-file sharing accounting (content-aware SMT,
+     * ROADMAP item 5). shortHits[t] counts Short-typed writebacks by
+     * thread t; crossShortHits[t] counts the subset that hit a group
+     * first allocated by a *different* thread (a cross-thread share).
+     * Empty vectors for models without a Short file.
+     */
+    struct SharingStats
+    {
+        std::vector<u64> shortHits;
+        std::vector<u64> crossShortHits;
+
+        u64 totalShortHits() const
+        {
+            u64 sum = 0;
+            for (u64 v : shortHits)
+                sum += v;
+            return sum;
+        }
+        u64 totalCrossShortHits() const
+        {
+            u64 sum = 0;
+            for (u64 v : crossShortHits)
+                sum += v;
+            return sum;
+        }
+    };
+    virtual SharingStats sharingStats() const { return {}; }
+
     // --- verification hooks (shadow-oracle fuzzer) ---
 
     /**

@@ -61,7 +61,15 @@ bool
 ShortFile::tryAllocate(u64 value)
 {
     unsigned idx;
-    if (lookup(value, idx))
+    bool fresh;
+    return tryAllocate(value, idx, fresh);
+}
+
+bool
+ShortFile::tryAllocate(u64 value, unsigned &idx_out, bool &fresh_out)
+{
+    fresh_out = false;
+    if (lookup(value, idx_out))
         return true;
 
     if (associative_) {
@@ -72,6 +80,8 @@ ShortFile::tryAllocate(u64 value)
                 slots_[i].valid = true;
                 slots_[i].tag = full;
                 ++allocations_;
+                idx_out = i;
+                fresh_out = true;
                 return true;
             }
         }
@@ -85,6 +95,8 @@ ShortFile::tryAllocate(u64 value)
     slots_[slot].valid = true;
     slots_[slot].tag = params_.shortTag(value);
     ++allocations_;
+    idx_out = slot;
+    fresh_out = true;
     return true;
 }
 

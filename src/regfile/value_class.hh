@@ -132,6 +132,14 @@ class ShortFile
      */
     bool tryAllocate(u64 value);
 
+    /**
+     * tryAllocate() with placement visibility: on success @p idx_out
+     * holds the resident slot and @p fresh_out is true iff this call
+     * placed a new group (false when the group was already resident).
+     * The SMT owner accounting keys on fresh placements.
+     */
+    bool tryAllocate(u64 value, unsigned &idx_out, bool &fresh_out);
+
     /** A short-typed result referenced entry @p idx (sets Tcur). */
     void touch(unsigned idx);
 

@@ -59,8 +59,11 @@ namespace
 bool
 lockstepEligible(const ExperimentJob &job)
 {
+    // SMT jobs interleave multiple traces, so there is no single
+    // front end to share; they always run as singletons.
     return job.options.lockstep && !job.oracle &&
-           job.options.oracleSamplePeriod == 0;
+           job.options.oracleSamplePeriod == 0 &&
+           job.params.smtThreads <= 1;
 }
 
 /** Whether two eligible jobs can share one lockstep replay. */
@@ -184,8 +187,12 @@ ExperimentRunner::run(const std::vector<ExperimentJob> &batch,
         std::vector<core::RunResult> unit_results;
         if (unit.size() == 1) {
             const ExperimentJob &job = batch[unit[0]];
-            unit_results.push_back(simulate(job.workload, job.params,
-                                            job.options, job.oracle));
+            if (job.params.smtThreads > 1)
+                unit_results.push_back(
+                    simulateSmt(job.workload, job.params, job.options));
+            else
+                unit_results.push_back(simulate(job.workload, job.params,
+                                                job.options, job.oracle));
         } else {
             std::vector<core::CoreParams> configs;
             configs.reserve(unit.size());

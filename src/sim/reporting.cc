@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <string_view>
+#include <vector>
 
 #include "common/logging.hh"
 
@@ -129,6 +130,23 @@ runResultJsonFull(const core::RunResult &result, bool include_host_times)
     json += "\"avg_live_short\":" + d(result.avgLiveShort) + ",";
     json += "\"port_conflict_ops\":" + u(result.portConflictOps) + ",";
     json += "\"port_conflict_cycles\":" + u(result.portConflictCycles);
+    // SMT aggregates only appear for multithreaded runs, keeping solo
+    // records byte-identical to the pre-SMT layout (and a T=1 sweep
+    // byte-identical to a solo sweep).
+    if (result.smtThreads > 1) {
+        json += ",\"smt_threads\":" + u(result.smtThreads);
+        json += ",\"smt_thread_insts\":[";
+        for (size_t t = 0; t < result.smtThreadInsts.size(); ++t)
+            json += (t ? "," : "") + u(result.smtThreadInsts[t]);
+        json += "],\"smt_thread_ipc\":[";
+        for (size_t t = 0; t < result.smtThreadIpc.size(); ++t)
+            json += (t ? "," : "") + d(result.smtThreadIpc[t]);
+        json += "],";
+        json += "\"smt_short_hits\":" + u(result.smtShortHits) + ",";
+        json += "\"smt_cross_short_hits\":" + u(result.smtCrossShortHits) +
+                ",";
+        json += "\"smt_max_recovery_wait\":" + u(result.smtMaxRecoveryWait);
+    }
     if (include_host_times) {
         json += ",\"wall_seconds\":" + d(result.wallSeconds);
         json += ",\"trace_build_seconds\":" + d(result.traceBuildSeconds);
@@ -256,6 +274,37 @@ struct JsonCursor
         }
         return literal("]");
     }
+
+    /** Variable-length numeric array (per-thread SMT vectors). */
+    template <typename T>
+    bool
+    array(std::vector<T> &out)
+    {
+        if (!literal("["))
+            return false;
+        out.clear();
+        if (p != end && *p == ']')
+            return literal("]");
+        for (;;) {
+            T v;
+            if (!number(v))
+                return false;
+            out.push_back(v);
+            if (p != end && *p == ',') {
+                ++p;
+                continue;
+            }
+            return literal("]");
+        }
+    }
+
+    /** Non-consuming lookahead at the remaining input. */
+    bool
+    peek(std::string_view text) const
+    {
+        return static_cast<size_t>(end - p) >= text.size() &&
+               std::string_view(p, text.size()) == text;
+    }
 };
 
 } // namespace
@@ -309,6 +358,22 @@ parseRunResultJson(std::string_view json)
           u64_field("port_conflict_ops", r.portConflictOps) &&
           u64_field("port_conflict_cycles", r.portConflictCycles)))
         return std::nullopt;
+
+    // Optional SMT block (multithreaded runs only; solo records keep
+    // the pre-SMT layout).
+    if (cur.peek(",\"smt_threads\"")) {
+        u64 smt_threads = 0;
+        if (!(u64_field("smt_threads", smt_threads) &&
+              cur.literal(",\"smt_thread_insts\":") &&
+              cur.array(r.smtThreadInsts) &&
+              cur.literal(",\"smt_thread_ipc\":") &&
+              cur.array(r.smtThreadIpc) &&
+              u64_field("smt_short_hits", r.smtShortHits) &&
+              u64_field("smt_cross_short_hits", r.smtCrossShortHits) &&
+              u64_field("smt_max_recovery_wait", r.smtMaxRecoveryWait)))
+            return std::nullopt;
+        r.smtThreads = static_cast<unsigned>(smt_threads);
+    }
 
     // Optional host-time tail.
     if (cur.p != cur.end && *cur.p == ',') {

@@ -39,6 +39,24 @@ resultKeyFields(const std::string &workload_name,
     addU("fast_forward", options.fastForward);
     addU("opt_oracle_period", options.oracleSamplePeriod);
 
+    // SMT axis: thread count plus the partner-workload mix. Keyed
+    // unconditionally so a solo job (smt_threads=1, empty mix) can
+    // never alias an SMT job over the same workload. The mix is
+    // keyed only when it takes effect (smtThreads > 1): simulateSmt
+    // ignores it for one thread, so a T=1 job with a populated mix
+    // is the same simulated point as the plain solo job and must
+    // share its key.
+    addU("smt_threads", params.smtThreads);
+    std::string mix;
+    if (params.smtThreads > 1) {
+        for (const std::string &name : options.smtMix) {
+            if (!mix.empty())
+                mix += "+";
+            mix += name;
+        }
+    }
+    add("smt_mix", mix);
+
     // Core timing parameters, exhaustively.
     addU("fetch_width", params.fetchWidth);
     addU("issue_width", params.issueWidth);

@@ -1,6 +1,11 @@
 #include "sim/simulator.hh"
 
 #include <chrono>
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/smt.hh"
 
 namespace carf::sim
 {
@@ -97,6 +102,75 @@ simulate(const workloads::Workload &workload,
             secondsSince(sim_start) - result.traceBuildSeconds;
     }
 
+    result.wallSeconds = result.traceBuildSeconds + result.simSeconds;
+    return result;
+}
+
+core::RunResult
+simulateSmt(const workloads::Workload &workload,
+            const core::CoreParams &params, const SimOptions &options)
+{
+    unsigned num_threads = params.smtThreads > 0 ? params.smtThreads : 1;
+    if (num_threads == 1)
+        return simulate(workload, params, options);
+    if (options.fastForward > 0)
+        fatal("simulateSmt: fast-forward is a solo-pipeline feature");
+    if (options.oracleSamplePeriod > 0)
+        fatal("simulateSmt: the live-value oracle is a solo-pipeline "
+              "feature");
+
+    auto start = std::chrono::steady_clock::now();
+
+    // Resolve the per-thread workload list: thread 0 runs the job's
+    // workload, partners cycle through the mix.
+    std::vector<const workloads::Workload *> mix(num_threads, &workload);
+    if (!options.smtMix.empty()) {
+        for (unsigned t = 1; t < num_threads; ++t)
+            mix[t] = &workloads::findWorkload(
+                options.smtMix[(t - 1) % options.smtMix.size()]);
+    }
+
+    // Obtain one trace per thread. Each thread gets its own source
+    // over its own functional memory; with a cache, threads running
+    // the same workload share the underlying buffer through distinct
+    // cursors.
+    std::vector<std::shared_ptr<const emu::TraceBuffer>> buffers;
+    std::vector<std::unique_ptr<emu::TraceBuffer::Cursor>> cursors;
+    std::vector<std::unique_ptr<emu::TraceSource>> streams;
+    std::vector<std::unique_ptr<TimedSource>> timed;
+    std::vector<emu::TraceSource *> sources(num_threads, nullptr);
+    for (unsigned t = 0; t < num_threads; ++t) {
+        const workloads::Workload &w = *mix[t];
+        std::shared_ptr<const emu::TraceBuffer> buffer;
+        if (options.traceCache) {
+            buffer = options.traceCache->acquire(
+                w.name, options.maxInsts, [&w, &options] {
+                    return workloads::makeTrace(w, options.maxInsts);
+                });
+        }
+        if (buffer) {
+            cursors.push_back(std::make_unique<emu::TraceBuffer::Cursor>(
+                *buffer, options.maxInsts));
+            sources[t] = cursors.back().get();
+            buffers.push_back(std::move(buffer));
+        } else {
+            streams.push_back(workloads::makeTrace(w, options.maxInsts));
+            timed.push_back(std::make_unique<TimedSource>(*streams.back()));
+            sources[t] = timed.back().get();
+        }
+    }
+    double trace_build_seconds = secondsSince(start);
+
+    auto sim_start = std::chrono::steady_clock::now();
+    core::SmtPipeline pipeline(params, num_threads);
+    core::SmtResult smt = pipeline.run(sources);
+    core::RunResult result = smt.aggregate();
+
+    double stream_seconds = 0.0;
+    for (const auto &src : timed)
+        stream_seconds += src->seconds();
+    result.traceBuildSeconds = trace_build_seconds + stream_seconds;
+    result.simSeconds = secondsSince(sim_start) - stream_seconds;
     result.wallSeconds = result.traceBuildSeconds + result.simSeconds;
     return result;
 }

@@ -57,6 +57,15 @@ struct SimOptions
      * this field — read-through lives in the runner.
      */
     ResultStore *resultStore = nullptr;
+    /**
+     * Partner workloads for SMT runs (workload registry names; see
+     * workloads::findWorkload()). Thread 0 always runs the job's own
+     * workload; thread t > 0 runs smtMix[(t - 1) % smtMix.size()],
+     * so a single partner name describes any thread count. Empty
+     * means a homogeneous mix (every thread runs the job workload).
+     * Ignored unless CoreParams::smtThreads > 1.
+     */
+    std::vector<std::string> smtMix;
 };
 
 /**
@@ -69,6 +78,22 @@ core::RunResult simulate(const workloads::Workload &workload,
                          const core::CoreParams &params,
                          const SimOptions &options = {},
                          LiveValueOracle *oracle = nullptr);
+
+/**
+ * Simulate @p workload on an SMT core with params.smtThreads hardware
+ * threads (core/smt.hh). Thread 0 runs @p workload; partner threads
+ * run options.smtMix (see SimOptions::smtMix). Returns the aggregate
+ * RunResult (summed per-thread counters plus the smt* fields).
+ *
+ * With smtThreads == 1 this delegates to simulate() — a one-thread
+ * SMT job is by definition the solo pipeline, and the delegation
+ * makes the T=1 column of any sweep bit-identical to a solo sweep.
+ * Incompatible with fastForward and the live-value oracle (both are
+ * solo-pipeline features); fatal if requested.
+ */
+core::RunResult simulateSmt(const workloads::Workload &workload,
+                            const core::CoreParams &params,
+                            const SimOptions &options = {});
 
 /**
  * Simulate @p workload under every configuration in @p configs in

@@ -1,5 +1,6 @@
 #include "testing/fuzz_ops.hh"
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -108,6 +109,8 @@ FuzzCase::serialize() const
     std::string out = "carf-fuzz-seed v1\n";
     out += strprintf("kind %s\n", config.backend.c_str());
     out += strprintf("entries %u\n", config.entries);
+    if (config.threads > 1)
+        out += strprintf("threads %u\n", config.threads);
     out += strprintf("d %u\n", config.ca.sim.d());
     out += strprintf("n %u\n", config.ca.sim.n());
     out += strprintf("long %u\n", config.ca.longEntries);
@@ -118,6 +121,8 @@ FuzzCase::serialize() const
     out += strprintf("ports %u\n", config.portRed.sharedReadPorts);
     out += strprintf("ops %zu\n", ops.size());
     for (const FuzzOp &op : ops) {
+        if (op.tid > 0)
+            out += strprintf("%u ", op.tid);
         switch (op.kind) {
           case FuzzOpKind::Write:
           case FuzzOpKind::WriteForced:
@@ -174,6 +179,8 @@ FuzzCase::parse(const std::string &text, std::string *error)
             fuzz_case.config.backend = kind;
         } else if (key == "entries") {
             fields >> fuzz_case.config.entries;
+        } else if (key == "threads") {
+            fields >> fuzz_case.config.threads;
         } else if (key == "d") {
             unsigned d = 0;
             fields >> d;
@@ -219,6 +226,12 @@ FuzzCase::parse(const std::string &text, std::string *error)
         std::string letter;
         fields >> letter;
         FuzzOp op;
+        // Multithreaded op lines lead with the issuing thread index.
+        if (!letter.empty() && letter[0] >= '0' && letter[0] <= '9') {
+            op.tid = static_cast<u32>(
+                std::strtoul(letter.c_str(), nullptr, 10));
+            fields >> letter;
+        }
         if (letter.size() != 1 || !opFromLetter(letter[0], op.kind))
             return bad("unknown op '" + line + "'");
         switch (op.kind) {

@@ -57,6 +57,13 @@ struct FuzzOp
     FuzzOpKind kind = FuzzOpKind::RobInterval;
     u32 tag = 0;
     u64 value = 0;
+    /**
+     * Issuing hardware thread (multithreaded mode): the harness sets
+     * the file's active thread before applying the op. 0 in
+     * single-threaded cases; serialized as a leading index on the op
+     * line only when nonzero, so old seed files parse unchanged.
+     */
+    u32 tid = 0;
 
     bool operator==(const FuzzOp &) const = default;
 };
@@ -68,6 +75,14 @@ struct FuzzConfig
     std::string backend = "content-aware";
     /** Physical tags. */
     unsigned entries = 64;
+    /**
+     * Hardware threads interleaving on the one shared file (and one
+     * shared shadow oracle). With threads > 1 the generator emits N
+     * independent op streams over disjoint tag slices and interleaves
+     * them randomly; per-step checks then cover Short refcounts and
+     * Long free-list integrity across every interleaving.
+     */
+    unsigned threads = 1;
     regfile::ContentAwareParams ca;
     regfile::PortReductionParams portRed;
 

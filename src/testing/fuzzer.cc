@@ -33,11 +33,15 @@ FuzzHarness::FuzzHarness(const FuzzConfig &config)
       file_(config.makeFile("fuzz")),
       shadow_(makeShadow(*file_, config.entries))
 {
+    if (config_.threads > 1)
+        file_->setThreadCount(config_.threads);
 }
 
 std::string
 FuzzHarness::step(const FuzzOp &op)
 {
+    if (config_.threads > 1)
+        file_->setActiveThread(op.tid % config_.threads);
     u32 tag = op.tag % config_.entries;
     switch (op.kind) {
       case FuzzOpKind::Write:
@@ -96,6 +100,18 @@ FuzzHarness::step(const FuzzOp &op)
     std::string err = file_->checkInvariants();
     if (!err.empty())
         return err;
+    if (config_.threads > 1) {
+        // Cross-thread accounting sanity on the shared file: a share
+        // is a subset of the hits that produced it, per thread.
+        auto sharing = file_->sharingStats();
+        for (size_t t = 0; t < sharing.crossShortHits.size(); ++t) {
+            if (t >= sharing.shortHits.size() ||
+                sharing.crossShortHits[t] > sharing.shortHits[t])
+                return strprintf("thread %zu: cross-thread shares "
+                                 "exceed its Short hits",
+                                 t);
+        }
+    }
     return shadow_.check(*file_);
 }
 
@@ -115,6 +131,50 @@ std::vector<FuzzOp>
 generateOps(const FuzzConfig &config, Rng &rng,
             const FuzzGenOptions &options)
 {
+    if (config.threads > 1) {
+        // Multithreaded mode: N independent single-thread streams
+        // over disjoint tag slices (each thread keeps its own live-tag
+        // book, like a private rename partition), randomly interleaved
+        // into one sequence against the one shared file. Still a pure
+        // function of @p rng, and any subsequence stays executable, so
+        // shrinking works on interleavings too.
+        unsigned num_threads = config.threads;
+        u32 slice = std::max(1u, config.entries / num_threads);
+        FuzzConfig sliced = config;
+        sliced.threads = 1;
+        sliced.entries = slice;
+        FuzzGenOptions per = options;
+        per.ops = (options.ops + num_threads - 1) / num_threads;
+
+        size_t remaining = 0;
+        std::vector<std::vector<FuzzOp>> streams(num_threads);
+        for (unsigned t = 0; t < num_threads; ++t) {
+            streams[t] = generateOps(sliced, rng, per);
+            for (FuzzOp &op : streams[t]) {
+                op.tid = t;
+                if (op.kind == FuzzOpKind::Write ||
+                    op.kind == FuzzOpKind::WriteForced ||
+                    op.kind == FuzzOpKind::Read ||
+                    op.kind == FuzzOpKind::Release)
+                    op.tag += t * slice;
+            }
+            remaining += streams[t].size();
+        }
+
+        std::vector<FuzzOp> ops;
+        ops.reserve(remaining);
+        std::vector<size_t> pos(num_threads, 0);
+        while (remaining > 0) {
+            unsigned t = static_cast<unsigned>(
+                rng.nextBounded(num_threads));
+            if (pos[t] < streams[t].size()) {
+                ops.push_back(streams[t][pos[t]++]);
+                --remaining;
+            }
+        }
+        return ops;
+    }
+
     const regfile::SimilarityParams &sim = config.ca.sim;
     unsigned field_bits = sim.simpleFieldBits();
 

@@ -185,6 +185,103 @@ TEST(BoundedFuzz, StandardConfigsPassTenThousandOps)
     }
 }
 
+/**
+ * Multithreaded shadow-oracle mode: N interleaved op streams against
+ * the one shared file and one shared oracle. Short refcounts and Long
+ * free-list integrity must hold across every interleaving, for the
+ * content-aware file and the whole backend zoo.
+ */
+TEST(MultiThreadFuzz, InterleavedStreamsPassTenThousandOps)
+{
+    FuzzGenOptions options;
+    options.ops = 10000;
+    for (unsigned threads : {2u, 4u}) {
+        for (FuzzConfig config : standardFuzzConfigs()) {
+            config.threads = threads;
+            FuzzRoundResult result =
+                fuzzOneSeed(config, 4242 + threads, options);
+            EXPECT_FALSE(result.failure.has_value())
+                << config.backend << " T=" << threads << ": op "
+                << result.failure->opIndex << ": "
+                << result.failure->message;
+            EXPECT_EQ(result.opsRun, options.ops);
+        }
+    }
+}
+
+/** Threaded generation is deterministic and actually interleaves. */
+TEST(MultiThreadFuzz, GeneratorIsDeterministicAndInterleaves)
+{
+    FuzzConfig config = paperConfig();
+    config.threads = 4;
+    FuzzGenOptions options;
+    options.ops = 4000;
+    Rng a(7), b(7);
+    auto ops_a = generateOps(config, a, options);
+    auto ops_b = generateOps(config, b, options);
+    EXPECT_EQ(ops_a, ops_b);
+
+    // Every thread contributes, and adjacent ops switch threads often
+    // enough that this is a genuine interleaving, not concatenation.
+    unsigned per_thread[4] = {};
+    unsigned switches = 0;
+    for (size_t i = 0; i < ops_a.size(); ++i) {
+        ASSERT_LT(ops_a[i].tid, 4u);
+        ++per_thread[ops_a[i].tid];
+        if (i && ops_a[i].tid != ops_a[i - 1].tid)
+            ++switches;
+    }
+    for (unsigned t = 0; t < 4; ++t)
+        EXPECT_GT(per_thread[t], options.ops / 8);
+    EXPECT_GT(switches, static_cast<unsigned>(ops_a.size() / 4));
+}
+
+/** Seed files round-trip the thread dimension. */
+TEST(MultiThreadFuzz, SeedFileRoundTripsThreads)
+{
+    FuzzCase original;
+    original.config = paperConfig();
+    original.config.threads = 3;
+    original.ops = {
+        {FuzzOpKind::Write, 3, 0xdeadull, 0},
+        {FuzzOpKind::Write, 17, 0xbeefull, 1},
+        {FuzzOpKind::Read, 17, 0, 2},
+        {FuzzOpKind::Release, 3, 0, 1},
+    };
+    std::string error;
+    auto parsed = FuzzCase::parse(original.serialize(), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->config.threads, 3u);
+    EXPECT_EQ(parsed->ops, original.ops);
+}
+
+/** ddmin shrinking stays sound on interleaved multithreaded cases. */
+TEST(MultiThreadFuzz, InjectedLeakIsCaughtAndShrunk)
+{
+    FuzzConfig config = paperConfig();
+    config.threads = 4;
+    Rng rng(77);
+    FuzzGenOptions options;
+    options.ops = 2000;
+    FuzzCase fuzz_case{config, generateOps(config, rng, options)};
+    fuzz_case.ops.insert(fuzz_case.ops.begin() + 1000,
+                         FuzzOp{FuzzOpKind::InjectShortRefLeak, 0, 3, 2});
+
+    auto failure = runCase(fuzz_case);
+    ASSERT_TRUE(failure.has_value());
+    EXPECT_EQ(failure->op.kind, FuzzOpKind::InjectShortRefLeak);
+
+    FuzzCase minimal = shrinkCase(fuzz_case);
+    ASSERT_EQ(minimal.ops.size(), 1u);
+    EXPECT_EQ(minimal.ops[0].kind, FuzzOpKind::InjectShortRefLeak);
+
+    // The shrunk seed file replays to the same failure.
+    std::string error;
+    auto replayed = FuzzCase::parse(minimal.serialize(), &error);
+    ASSERT_TRUE(replayed.has_value()) << error;
+    ASSERT_TRUE(runCase(*replayed).has_value());
+}
+
 /** Tiny Long file: the stall/recovery edges must hold up under fuzz. */
 TEST(BoundedFuzz, LongPressureConfigPasses)
 {

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "energy/report.hh"
 #include "sim/experiments.hh"
 #include "sim/frequency.hh"
@@ -150,6 +152,59 @@ TEST(PaperClaims, RecoveriesAreRare)
         total_insts += r.committedInsts;
     EXPECT_LT(fixture().caInt.totalRecoveries(),
               total_insts / 10000);
+}
+
+TEST(PaperClaims, SmtSharingSustainsThroughput)
+{
+    // §6: the average number of live Long registers is far below K,
+    // so one Long file can feed two threads. At the single-thread
+    // knee (K=48), a high-ILP thread (counters) plus a
+    // dependence-limited partner (crc) must deliver more aggregate
+    // throughput than either thread alone, and the content-aware
+    // organization must stay competitive with the same-tag-capacity
+    // conventional baseline under sharing. (A pointer-chasing
+    // partner like hash_table instead shifts the Long knee past 48
+    // — the ablation grid covers that regime.)
+    sim::SimOptions options;
+    options.maxInsts = 60000;
+    options.smtMix = {"crc"};
+    const auto &lead = workloads::findWorkload("counters");
+
+    auto ca = core::CoreParams::contentAware(20, 3, 48);
+    auto solo_a = sim::simulate(lead, ca, options);
+    auto solo_b = sim::simulate(workloads::findWorkload("crc"),
+                                ca, options);
+
+    // Two resident threads get the SMT register budget the ablation
+    // uses (80 + 32·T int, 96 + 32·T fp); the Long file stays at the
+    // single-thread knee K=48 — that is the sharing claim under test.
+    ca.smtThreads = 2;
+    ca.physIntRegs = 80 + 32 * 2;
+    ca.physFpRegs = 96 + 32 * 2;
+    auto ca_smt = sim::simulateSmt(lead, ca, options);
+    EXPECT_EQ(ca_smt.smtThreads, 2u);
+
+    // Aggregate beats the faster solo thread: sharing one file
+    // yields real multithreaded throughput, not time-slicing.
+    EXPECT_GT(ca_smt.ipc, std::max(solo_a.ipc, solo_b.ipc));
+
+    // The Long file never approaches its capacity even with two
+    // threads resident — the §6 sharing argument itself.
+    EXPECT_LT(ca_smt.avgLiveLong, 40.0);
+
+    // Competitive with the conventional baseline of the same tag
+    // count under the identical mix (the content-aware file trades
+    // two-stage writeback for sharing-friendly storage).
+    auto base = core::CoreParams::baseline();
+    base.smtThreads = 2;
+    base.physIntRegs = 80 + 32 * 2;
+    base.physFpRegs = 96 + 32 * 2;
+    auto base_smt = sim::simulateSmt(lead, base, options);
+    EXPECT_GT(ca_smt.ipc, 0.93 * base_smt.ipc);
+
+    // And the shared Short file does observe cross-thread value
+    // similarity on this mix.
+    EXPECT_GT(ca_smt.smtShortHits, 0u);
 }
 
 TEST(PaperClaims, FrequencyScaledSpeedupPositive)

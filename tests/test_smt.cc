@@ -135,11 +135,91 @@ TEST(Smt, LongPressureGrowsWithThreadCount)
     SmtPipeline two(params, 2);
     auto r2 = two.run({ta.get(), tb.get()}, false);
 
+    // Long pressure is attributed per thread; compare run totals.
     u64 pressure1 = r1.threads[0].longAllocStalls +
                     r1.threads[0].recoveries;
-    u64 pressure2 = r2.threads[0].longAllocStalls +
-                    r2.threads[0].recoveries;
+    u64 pressure2 = 0;
+    for (const auto &t : r2.threads)
+        pressure2 += t.longAllocStalls + t.recoveries;
     EXPECT_GE(pressure2, pressure1);
+}
+
+TEST(Smt, ConservationInvariantsAcrossThreadCounts)
+{
+    // For T in {2, 4}: per-thread counters must sum to the aggregate,
+    // cross-thread shares must be a subset of total Short hits, and
+    // the shared file's structural invariants must hold after every
+    // cycle (debug-gated checkInvariants hook).
+    const char *mix[] = {"counters", "crc", "hash_table", "rle"};
+    for (unsigned num_threads : {2u, 4u}) {
+        auto params = CoreParams::contentAware();
+        params.physIntRegs = 80 + 32 * num_threads;
+        params.physFpRegs = 96 + 32 * num_threads;
+
+        std::vector<std::unique_ptr<emu::TraceSource>> traces;
+        std::vector<emu::TraceSource *> sources;
+        for (unsigned t = 0; t < num_threads; ++t) {
+            traces.push_back(trace(mix[t % 4], 15000));
+            sources.push_back(traces.back().get());
+        }
+        SmtPipeline smt(params, num_threads);
+        smt.enableInvariantChecks();
+        auto result = smt.run(sources, false);
+
+        RunResult agg = result.aggregate();
+        u64 inst_sum = 0, stall_sum = 0, recovery_sum = 0;
+        for (const auto &t : result.threads) {
+            inst_sum += t.committedInsts;
+            stall_sum += t.longAllocStalls;
+            recovery_sum += t.recoveries;
+        }
+        EXPECT_EQ(agg.committedInsts, inst_sum);
+        EXPECT_EQ(agg.longAllocStalls, stall_sum);
+        EXPECT_EQ(agg.recoveries, recovery_sum);
+        ASSERT_EQ(agg.smtThreadInsts.size(), num_threads);
+        for (unsigned t = 0; t < num_threads; ++t)
+            EXPECT_EQ(agg.smtThreadInsts[t],
+                      result.threads[t].committedInsts);
+
+        // Sharing accounting: per-thread and in total, a cross-thread
+        // share is one of that thread's Short hits.
+        ASSERT_EQ(result.sharing.shortHits.size(), num_threads);
+        for (unsigned t = 0; t < num_threads; ++t)
+            EXPECT_LE(result.sharing.crossShortHits[t],
+                      result.sharing.shortHits[t]);
+        EXPECT_LE(agg.smtCrossShortHits, agg.smtShortHits);
+        EXPECT_EQ(agg.smtShortHits, result.sharing.totalShortHits());
+    }
+}
+
+TEST(Smt, CrossThreadSharingObservedOnIdenticalWorkloads)
+{
+    // Two copies of the same program produce the same values; the
+    // shared Short file must register cross-thread group hits.
+    auto ta = trace("hash_table", 25000);
+    auto tb = trace("hash_table", 25000);
+    SmtPipeline smt(CoreParams::contentAware(), 2);
+    auto result = smt.run({ta.get(), tb.get()}, false);
+    EXPECT_GT(result.sharing.totalShortHits(), 0u);
+    EXPECT_GT(result.sharing.totalCrossShortHits(), 0u);
+    // Fairness of a homogeneous pair should be high.
+    EXPECT_GT(result.fairness(), 0.5);
+}
+
+TEST(Smt, RecoveryStarvationBoundIsFinite)
+{
+    // Contention-aware recovery: under heavy Long pressure every
+    // stalled ROB head eventually gets its forced grant; the recorded
+    // starvation bound must stay small relative to the run.
+    auto params = CoreParams::contentAware(20, 3, 12);
+    params.ca.issueStallThreshold = 0;
+    auto ta = trace("crc", 20000);
+    auto tb = trace("monte_carlo", 20000);
+    SmtPipeline smt(params, 2);
+    auto result = smt.run({ta.get(), tb.get()}, false);
+    EXPECT_EQ(result.threads[0].committedInsts, 20000u);
+    EXPECT_EQ(result.threads[1].committedInsts, 20000u);
+    EXPECT_LT(result.maxRecoveryWait, result.cycles);
 }
 
 TEST(SmtDeathTest, TooManyThreadsForRegistersIsFatal)
