@@ -18,6 +18,19 @@
  *                     way — lockstep=0 is for A/B wall-time runs)
  *   lockstep_group=N  cap lockstep groups at N pipeline lanes
  *                     (default 0 = unbounded)
+ *   fast_path=0       disable the exact idle-cycle skip (default on;
+ *                     results are bit-identical either way —
+ *                     fast_path=0 is for A/B wall-time runs)
+ *   sampling_period=N SMARTS-style statistical sampling: instructions
+ *                     per period (default 0 = full detail). Implies
+ *                     lockstep=0 (sampled lanes alternate functional
+ *                     and detailed phases, so there is no shared
+ *                     front end). Sampled results are estimates, not
+ *                     bit-identical to full runs.
+ *   sampling_warmup=N   detailed warm-up instructions per period
+ *                       (default 2000)
+ *   sampling_measure=N  measured instructions per period
+ *                       (default 1000)
  *   regfile=NAME[,NAME...]
  *                     register-file backend selection. A single name
  *                     re-runs the harness with that registered backend
@@ -199,6 +212,16 @@ struct BenchArgs
         args.options.lockstep = args.config.getBool("lockstep", true);
         args.options.lockstepMaxGroup = static_cast<unsigned>(
             args.config.getU64("lockstep_group", 0));
+        args.options.fastPath = args.config.getBool("fast_path", true);
+        args.options.samplingPeriod =
+            args.config.getU64("sampling_period", 0);
+        args.options.samplingWarmup = args.config.getU64(
+            "sampling_warmup", args.options.samplingWarmup);
+        args.options.samplingMeasure = args.config.getU64(
+            "sampling_measure", args.options.samplingMeasure);
+        if (args.options.samplingPeriod > 0)
+            args.options.lockstep = false;
+        args.options.validate();
         std::string store_dir = args.config.getString("store_dir", "");
         if (args.config.getBool("result_store", !store_dir.empty())) {
             if (store_dir.empty())

@@ -126,8 +126,7 @@ main(int argc, char **argv)
         std::printf("workloads:\n");
         for (const auto &w : workloads::allWorkloads()) {
             std::printf("  %-16s (%s)\n", w.name.c_str(),
-                        w.suite == workloads::Suite::Int ? "int"
-                                                         : "fp");
+                        workloads::suiteName(w.suite));
         }
         return 0;
     }

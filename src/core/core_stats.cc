@@ -17,6 +17,33 @@ OperandMix::bucketName(unsigned bucket)
     return "?";
 }
 
+const char *
+CycleAccounting::bucketName(unsigned bucket)
+{
+    switch (bucket) {
+      case Commit: return "commit";
+      case LongStall: return "long_stall";
+      case MemWait: return "mem_wait";
+      case ExecWait: return "exec_wait";
+      case WbWait: return "wb_wait";
+      case RobFull: return "rob_full";
+      case IssueBound: return "issue_bound";
+      case IcacheWait: return "icache_wait";
+      case FrontendFill: return "frontend_fill";
+      case FetchEmpty: return "fetch_empty";
+    }
+    return "?";
+}
+
+u64
+CycleAccounting::total() const
+{
+    u64 sum = 0;
+    for (u64 c : counts)
+        sum += c;
+    return sum;
+}
+
 u64
 OperandMix::total() const
 {

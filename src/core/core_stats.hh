@@ -91,6 +91,48 @@ struct ClusterStats
     }
 };
 
+/**
+ * Exact attribution of every simulated cycle to one bucket, decided
+ * at the top of the cycle from pre-stage machine state (so the
+ * classification is a pure function of state and identical whether a
+ * quiescent stretch is stepped or skipped). The buckets follow the
+ * oldest unfinished work: what is the ROB head (or, with an empty
+ * ROB, the front end) waiting for this cycle?
+ */
+struct CycleAccounting
+{
+    enum Bucket : unsigned
+    {
+        /** Head is written back: at least one commit happens. */
+        Commit,
+        /** Head stalled in the Long-file writeback recovery wait. */
+        LongStall,
+        /** Head is an issued load waiting on the memory hierarchy. */
+        MemWait,
+        /** Head is issued, waiting on a (non-load) execution latency. */
+        ExecWait,
+        /** Head finished executing and awaits its writeback slot. */
+        WbWait,
+        /** Head is dispatched-not-issued and the ROB is full. */
+        RobFull,
+        /** Head is dispatched-not-issued (operands/ports/parking). */
+        IssueBound,
+        /** ROB empty; fetch is waiting on an I-cache fill. */
+        IcacheWait,
+        /** ROB empty; fetched instructions are still being renamed. */
+        FrontendFill,
+        /** ROB empty and nothing buffered: redirect/drain/exhausted. */
+        FetchEmpty,
+        NumBuckets,
+    };
+
+    u64 counts[NumBuckets] = {};
+
+    static const char *bucketName(unsigned bucket);
+
+    u64 total() const;
+};
+
 /** Summary of one simulated run. */
 struct RunResult
 {
@@ -122,6 +164,35 @@ struct RunResult
     u64 portConflictOps = 0;
     /** Cycles with at least one model-level read-port refusal. */
     u64 portConflictCycles = 0;
+
+    /** Per-bucket attribution of every cycle (sums to cycles). */
+    CycleAccounting cycleAccounting;
+
+    /**
+     * Fast-path diagnostics: number of O(1) jumps taken and cycles
+     * they covered. Deliberately *not* serialized — like the host
+     * times, they differ between the stepped and skipping loops while
+     * everything architectural stays bit-identical.
+     */
+    u64 fastPathSkips = 0;
+    u64 fastPathSkippedCycles = 0;
+
+    // --- Statistical-sampling fields (present when the run used the
+    // --- SMARTS-style sampling mode; samplingPeriod==0 means a full
+    // --- run and the block is omitted from JSON) ---
+
+    /** Instructions per sampling period (0 = full detailed run). */
+    u64 samplingPeriod = 0;
+    /** Detailed warm-up instructions per period. */
+    u64 samplingWarmup = 0;
+    /** Measured detailed instructions per period. */
+    u64 samplingMeasure = 0;
+    /** Measurement intervals that contributed to the estimate. */
+    u64 samplingIntervals = 0;
+    /** Instructions functionally fast-forwarded between intervals. */
+    u64 samplingSkippedInsts = 0;
+    /** 95% confidence half-width on the sampled IPC estimate. */
+    double samplingIpcCi95 = 0.0;
 
     // --- SMT aggregate fields (defaults describe a solo run, so a
     // --- solo RunResult round-trips unchanged) ---

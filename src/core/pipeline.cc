@@ -699,7 +699,7 @@ Pipeline::warmUpRange(FetchStream &stream, u64 insts,
 }
 
 void
-Pipeline::finishWarmUp(const WarmupScratch &scratch)
+Pipeline::installWarmState(const WarmupScratch &scratch)
 {
     // Install the fast-forwarded architectural values so the timed
     // window reads consistent register state.
@@ -718,9 +718,128 @@ Pipeline::finishWarmUp(const WarmupScratch &scratch)
             fpRf_->write(tag, scratch.fpVals[r]);
         }
     }
+}
+
+void
+Pipeline::finishWarmUp(const WarmupScratch &scratch)
+{
+    installWarmState(scratch);
     intRf_->clearAccessCounts();
     fpRf_->clearAccessCounts();
     result_ = RunResult{};
+}
+
+void
+Pipeline::resetForResume()
+{
+    if (!rob_.empty() || !fetchBuffer_.empty() || pendingFetchValid_)
+        panic("resetForResume: lane still has work in flight");
+    traceExhausted_ = false;
+    // Fetch pacing latches from the drained episode are stale; the
+    // redirect latch is provably clear (it drops when the mispredicted
+    // branch issues, and a drained ROB has issued everything), and the
+    // I-miss stash is empty by active()'s definition.
+    fetchResumeCycle_ = 0;
+    lastFetchLine_ = ~u64{0};
+    // No cycles elapse during a functional gap, but re-arm the
+    // watchdog base so episode boundaries never look like hangs.
+    lastProgressCycle_ = cycle_;
+}
+
+unsigned
+Pipeline::classifyCycle() const
+{
+    if (!rob_.empty()) {
+        const InFlightInst &head = rob_.head();
+        if (head.state == InstState::WrittenBack)
+            return CycleAccounting::Commit;
+        if (head.state == InstState::Issued) {
+            if (head.wbStalledOnLong)
+                return CycleAccounting::LongStall;
+            if (head.completeCycle > cycle_)
+                return head.op.isLoad() ? CycleAccounting::MemWait
+                                        : CycleAccounting::ExecWait;
+            return CycleAccounting::WbWait;
+        }
+        return rob_.full() ? CycleAccounting::RobFull
+                           : CycleAccounting::IssueBound;
+    }
+    if (!fetchBuffer_.empty())
+        return CycleAccounting::FrontendFill;
+    if (pendingFetchValid_)
+        return CycleAccounting::IcacheWait;
+    return CycleAccounting::FetchEmpty;
+}
+
+Cycle
+Pipeline::quiescentUntil(Cycle cur) const
+{
+    // Commit: a written-back head commits this very cycle.
+    if (!rob_.empty() && rob_.head().state == InstState::WrittenBack)
+        return 0;
+
+    // Issue: any dispatched candidate gets scanned each cycle, and a
+    // scan can consume model read-port budget or issue outright —
+    // only a window whose waiting instructions are all *parked* (with
+    // known wake cycles) is skippable.
+    if (!dispatched_.empty())
+        return 0;
+
+    // A Long issue-stall cycle with parked instructions restores the
+    // full scan and counts issueStallCycles per cycle: never skip it.
+    if (!parked_.empty() && intRf_->shouldStallIssue())
+        return 0;
+
+    // Fetch: eligible to pull a record right now — step. (A redirect
+    // blocks fetch until the mispredicted branch issues, which is
+    // bounded by the parked/writeback candidates below; a full fetch
+    // buffer blocks until rename drains it, bounded likewise.)
+    if (!traceExhausted_ && !pendingRedirect_ && !fetchBuffer_.full() &&
+        cur >= fetchResumeCycle_)
+        return 0;
+
+    Cycle next = ~Cycle{0};
+    auto candidate = [&next](Cycle c) { next = std::min(next, c); };
+
+    if (!traceExhausted_ && !pendingRedirect_ && !fetchBuffer_.full())
+        candidate(fetchResumeCycle_);
+
+    if (!parked_.empty())
+        candidate(parked_.front().first);
+
+    // Writeback: every issued instruction must complete strictly
+    // later. An already-complete entry (including a Long-stalled one)
+    // retries every cycle, and retries touch model counters — step.
+    for (const InFlightInst *inst : pendingWb_) {
+        if (inst->completeCycle <= cur)
+            return 0;
+        candidate(inst->completeCycle);
+    }
+
+    // Rename: blocked on pipeline depth until a known cycle, or on a
+    // structural resource (ROB/IQ/LSQ/free list) whose release needs
+    // a commit/issue/writeback event already bounded above.
+    if (!fetchBuffer_.empty()) {
+        const FetchedInst &fetched = fetchBuffer_.front();
+        Cycle ready = fetched.fetchCycle + params_.frontendDepth;
+        if (ready > cur) {
+            candidate(ready);
+        } else {
+            const DynOp &op = fetched.op;
+            bool blocked =
+                rob_.full() ||
+                (usesFpQueue(op.op) ? fpIq_ : intIq_).full() ||
+                ((op.isLoad() || op.isStore()) && lsq_.full()) ||
+                (op.writesIntReg() && !intMap_.canRename()) ||
+                (op.writesFpReg() && !fpMap_.canRename());
+            if (!blocked)
+                return 0; // rename makes progress this cycle
+        }
+    }
+
+    if (next == ~Cycle{0})
+        return 0; // nothing can bound the next event
+    return next;
 }
 
 void
@@ -742,6 +861,37 @@ void
 Pipeline::stepCycle(FetchStream &stream)
 {
     Cycle cur = cycle_;
+    unsigned bucket = classifyCycle();
+
+    // Exact idle-cycle skip: when every stage provably no-ops until a
+    // known future cycle, jump the clock in O(1) and advance the
+    // per-cycle statistics by the same amounts the stepped loop would
+    // have accumulated. The per-cycle observer (live-value oracle)
+    // samples mid-stretch, so its presence forces stepping.
+    if (fastPath_ && !observer_) {
+        Cycle next = quiescentUntil(cur);
+        if (next != 0) {
+            // Never jump past the cycle the stepped loop's watchdog
+            // would have fired on.
+            Cycle cap = lastProgressCycle_ + watchdogCycles + 1;
+            if (next > cap)
+                next = cap;
+            if (next > cur + 1) {
+                Cycle span = next - cur;
+                result_.cycleAccounting.counts[bucket] += span;
+                regfile::RegisterFile::Occupancy occ =
+                    intRf_->occupancy();
+                liveLong_.sampleN(occ.liveLong, span);
+                liveShort_.sampleN(occ.liveShort, span);
+                ++result_.fastPathSkips;
+                result_.fastPathSkippedCycles += span;
+                cycle_ = next;
+                return;
+            }
+        }
+    }
+
+    ++result_.cycleAccounting.counts[bucket];
     intRf_->beginCycle();
     doCommit(cur);
     doWriteback(cur);

@@ -121,6 +121,24 @@ class Pipeline
      */
     void finishWarmUp(const WarmupScratch &scratch);
 
+    /**
+     * Install the architectural values gathered by warmUpRange()
+     * *without* resetting statistics — the sampling engine's variant
+     * of finishWarmUp(), used between measurement intervals of one
+     * timed window (issue cross-checks every RegFile operand against
+     * the trace, so resumed execution needs current values).
+     */
+    void installWarmState(const WarmupScratch &scratch);
+
+    /**
+     * Re-arm a drained lane for more trace records after a functional
+     * fast-forward gap (sampling mode): clears the trace-exhausted
+     * and fetch-pacing latches while keeping cycle_, caches, the
+     * predictor, rename state, and all statistics. Call only when
+     * !active().
+     */
+    void resetForResume();
+
     /** Arm the timed window: reset statistics and the cycle counter. */
     void beginRun(const std::string &workload_name,
                   CycleObserver *observer = nullptr);
@@ -150,6 +168,24 @@ class Pipeline
     const CoreParams &params() const { return params_; }
     regfile::RegisterFile &intRegFile() { return *intRf_; }
     const regfile::RegisterFile &intRegFile() const { return *intRf_; }
+
+    /**
+     * Enable/disable the exact idle-cycle skip in stepCycle (default
+     * on). Skipping is bit-identical to stepping — the flag exists so
+     * tests and benches can run the stepped loop for differential
+     * checks and honest speedup measurement.
+     */
+    void setFastPath(bool on) { fastPath_ = on; }
+
+    /** Committed instructions so far in the current timed window. */
+    u64 committedInsts() const { return result_.committedInsts; }
+    /** Current cycle of the timed window. */
+    Cycle currentCycle() const { return cycle_; }
+    /** Cycle-bucket attribution so far (sums to currentCycle()). */
+    const CycleAccounting &cycleAccounting() const
+    {
+        return result_.cycleAccounting;
+    }
 
     /**
      * Architectural value of integer register @p idx through the
@@ -193,6 +229,21 @@ class Pipeline
         u64 value = 0;
         bool used = false;
     };
+
+    /**
+     * Attribute the coming cycle to one CycleAccounting bucket, as a
+     * pure function of pre-stage machine state (so stepped and
+     * skipped execution classify identically).
+     */
+    unsigned classifyCycle() const;
+
+    /**
+     * Conservative fast-path bound: the first cycle > @p cur at which
+     * any stage could observably act, given that no stage acts at
+     * @p cur. Returns 0 when some structure cannot bound its next
+     * event (or could act at @p cur itself) — the caller must step.
+     */
+    Cycle quiescentUntil(Cycle cur) const;
 
     // --- per-cycle stages (called newest-to-oldest pipeline order) ---
     void doCommit(Cycle cur);
@@ -293,6 +344,7 @@ class Pipeline
     u64 committedSinceInterval_ = 0;
 
     // --- timed-window cycle-loop state (spans stepCycle calls) ---
+    bool fastPath_ = true;
     Cycle cycle_ = 0;
     u64 lastCommitCount_ = 0;
     Cycle lastProgressCycle_ = 0;

@@ -76,6 +76,7 @@ SmtResult::aggregate() const
     agg.bypass.restore(bypassed_int, bypassed_fp, regfile_int,
                        regfile_fp);
     agg.cycles = cycles;
+    agg.cycleAccounting = machineAccounting;
     agg.ipc = cycles ? static_cast<double>(agg.committedInsts) / cycles
                      : 0.0;
 
@@ -157,6 +158,31 @@ SmtPipeline::icountOrder() const
                                 threads_[b].iqCount;
                      });
     return order;
+}
+
+unsigned
+SmtPipeline::classifyThread(const Thread &thread, Cycle cur) const
+{
+    if (!thread.rob->empty()) {
+        const InFlightInst &head = thread.rob->head();
+        if (head.state == InstState::WrittenBack)
+            return CycleAccounting::Commit;
+        if (head.state == InstState::Issued) {
+            if (head.wbStalledOnLong)
+                return CycleAccounting::LongStall;
+            if (head.completeCycle > cur)
+                return head.op.isLoad() ? CycleAccounting::MemWait
+                                        : CycleAccounting::ExecWait;
+            return CycleAccounting::WbWait;
+        }
+        return thread.rob->full() ? CycleAccounting::RobFull
+                                  : CycleAccounting::IssueBound;
+    }
+    if (!thread.fetchBuffer.empty())
+        return CycleAccounting::FrontendFill;
+    if (thread.pendingFetchValid)
+        return CycleAccounting::IcacheWait;
+    return CycleAccounting::FetchEmpty;
 }
 
 void
@@ -703,7 +729,19 @@ SmtPipeline::run(std::vector<emu::TraceSource *> sources,
         return stop_on_first_drain ? any_drained : all_drained;
     };
 
+    CycleAccounting machine_acc;
     while (!should_stop()) {
+        // Attribute the cycle before any stage runs: per thread (each
+        // thread's buckets sum to machine cycles) and machine-level
+        // (most-productive bucket across threads).
+        unsigned machine_bucket = CycleAccounting::FetchEmpty;
+        for (Thread &thread : threads_) {
+            unsigned b = classifyThread(thread, cur);
+            ++thread.result.cycleAccounting.counts[b];
+            machine_bucket = std::min(machine_bucket, b);
+        }
+        ++machine_acc.counts[machine_bucket];
+
         intRf_->beginCycle();
         doCommit(cur);
         doWriteback(cur);
@@ -765,6 +803,7 @@ SmtPipeline::run(std::vector<emu::TraceSource *> sources,
     }
     result.sharing = intRf_->sharingStats();
     result.maxRecoveryWait = maxRecoveryWait_;
+    result.machineAccounting = machine_acc;
     return result;
 }
 

@@ -63,6 +63,15 @@ struct SmtResult
     /** Per-thread and cross-thread Short-hit counters (shared file). */
     regfile::RegisterFile::SharingStats sharing;
     /**
+     * Machine-level cycle attribution: each cycle takes the
+     * most-productive bucket across threads (lowest enum value, so
+     * any thread committing makes the machine cycle a Commit cycle).
+     * Sums to cycles; equals threads[0]'s accounting when T == 1.
+     * Per-thread accounting (each summing to cycles too) lives in
+     * threads[i].cycleAccounting.
+     */
+    CycleAccounting machineAccounting;
+    /**
      * Longest streak of cycles any stalled ROB head waited for its
      * forced-write grant (recovery-fairness starvation bound).
      */
@@ -191,6 +200,13 @@ class SmtPipeline
     void doIssue(Cycle cur);
     void doRename(Cycle cur);
     void doFetch(Cycle cur);
+
+    /**
+     * Attribute the coming cycle to one bucket for @p thread, from
+     * pre-stage state — the same pure-function rule as the solo
+     * pipeline's classifyCycle(), over the thread's partition.
+     */
+    unsigned classifyThread(const Thread &thread, Cycle cur) const;
 
     bool tryIssueOne(Cycle cur, unsigned tid, InFlightInst &inst,
                      unsigned &int_fu, unsigned &fp_fu,

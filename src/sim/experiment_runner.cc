@@ -60,9 +60,14 @@ bool
 lockstepEligible(const ExperimentJob &job)
 {
     // SMT jobs interleave multiple traces, so there is no single
-    // front end to share; they always run as singletons.
+    // front end to share; they always run as singletons. Sampled jobs
+    // alternate functional and detailed phases per lane, so no shared
+    // front end exists for them either (validate() also rejects
+    // lockstep=true with sampling, but a runner batch may legitimately
+    // mix sampled and full jobs).
     return job.options.lockstep && !job.oracle &&
            job.options.oracleSamplePeriod == 0 &&
+           job.options.samplingPeriod == 0 &&
            job.params.smtThreads <= 1;
 }
 
@@ -187,7 +192,10 @@ ExperimentRunner::run(const std::vector<ExperimentJob> &batch,
         std::vector<core::RunResult> unit_results;
         if (unit.size() == 1) {
             const ExperimentJob &job = batch[unit[0]];
-            if (job.params.smtThreads > 1)
+            if (job.options.samplingPeriod > 0)
+                unit_results.push_back(simulateSampled(
+                    job.workload, job.params, job.options));
+            else if (job.params.smtThreads > 1)
                 unit_results.push_back(
                     simulateSmt(job.workload, job.params, job.options));
             else

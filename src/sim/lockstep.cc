@@ -184,6 +184,7 @@ simulateGroup(const workloads::Workload &workload,
         return results;
     };
 
+    options.validate();
     if (configs.size() < 2 || options.oracleSamplePeriod != 0 ||
         !uniformBranchGeometry(configs))
         return serial_fallback();
@@ -227,6 +228,7 @@ simulateGroup(const workloads::Workload &workload,
         core::CoreParams run_params = configs[i];
         run_params.oracleSamplePeriod = options.oracleSamplePeriod;
         group[i].pipe = std::make_unique<core::Pipeline>(run_params);
+        group[i].pipe->setFastPath(options.fastPath);
         group[i].stream = std::make_unique<WindowFetchStream>(
             frontend, limit, workload.name);
     }

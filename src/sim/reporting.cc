@@ -77,6 +77,22 @@ runResultJson(const core::RunResult &result)
                       (unsigned long long)result.recoveries);
     json += strprintf("\"avg_live_long\":%.3f,", result.avgLiveLong);
     json += strprintf("\"avg_live_short\":%.3f,", result.avgLiveShort);
+    json += "\"cycle_buckets\":{";
+    for (unsigned b = 0; b < core::CycleAccounting::NumBuckets; ++b) {
+        json += strprintf(
+            "%s\"%s\":%llu", b ? "," : "",
+            core::CycleAccounting::bucketName(b),
+            (unsigned long long)result.cycleAccounting.counts[b]);
+    }
+    json += "},";
+    if (result.samplingPeriod > 0) {
+        json += strprintf("\"sampling_period\":%llu,",
+                          (unsigned long long)result.samplingPeriod);
+        json += strprintf("\"sampling_intervals\":%llu,",
+                          (unsigned long long)result.samplingIntervals);
+        json += strprintf("\"sampling_ipc_ci95\":%.6f,",
+                          result.samplingIpcCi95);
+    }
     // Host-time fields are nondeterministic; they sit together at the
     // tail so determinism checks can strip them in one cut.
     json += strprintf("\"wall_seconds\":%.6f,", result.wallSeconds);
@@ -129,7 +145,12 @@ runResultJsonFull(const core::RunResult &result, bool include_host_times)
     json += "\"avg_live_long\":" + d(result.avgLiveLong) + ",";
     json += "\"avg_live_short\":" + d(result.avgLiveShort) + ",";
     json += "\"port_conflict_ops\":" + u(result.portConflictOps) + ",";
-    json += "\"port_conflict_cycles\":" + u(result.portConflictCycles);
+    json += "\"port_conflict_cycles\":" + u(result.portConflictCycles) +
+            ",";
+    json += "\"cycle_buckets\":[";
+    for (unsigned b = 0; b < core::CycleAccounting::NumBuckets; ++b)
+        json += (b ? "," : "") + u(result.cycleAccounting.counts[b]);
+    json += "]";
     // SMT aggregates only appear for multithreaded runs, keeping solo
     // records byte-identical to the pre-SMT layout (and a T=1 sweep
     // byte-identical to a solo sweep).
@@ -146,6 +167,17 @@ runResultJsonFull(const core::RunResult &result, bool include_host_times)
         json += "\"smt_cross_short_hits\":" + u(result.smtCrossShortHits) +
                 ",";
         json += "\"smt_max_recovery_wait\":" + u(result.smtMaxRecoveryWait);
+    }
+    // Sampling block: present only for sampled runs, so full runs
+    // keep the pre-sampling layout byte-identical.
+    if (result.samplingPeriod > 0) {
+        json += ",\"sampling_period\":" + u(result.samplingPeriod);
+        json += ",\"sampling_warmup\":" + u(result.samplingWarmup);
+        json += ",\"sampling_measure\":" + u(result.samplingMeasure);
+        json += ",\"sampling_intervals\":" + u(result.samplingIntervals);
+        json += ",\"sampling_skipped_insts\":" +
+                u(result.samplingSkippedInsts);
+        json += ",\"sampling_ipc_ci95\":" + d(result.samplingIpcCi95);
     }
     if (include_host_times) {
         json += ",\"wall_seconds\":" + d(result.wallSeconds);
@@ -356,7 +388,9 @@ parseRunResultJson(std::string_view json)
           dbl_field("avg_live_long", r.avgLiveLong) &&
           dbl_field("avg_live_short", r.avgLiveShort) &&
           u64_field("port_conflict_ops", r.portConflictOps) &&
-          u64_field("port_conflict_cycles", r.portConflictCycles)))
+          u64_field("port_conflict_cycles", r.portConflictCycles) &&
+          cur.literal(",\"cycle_buckets\":") &&
+          cur.array(r.cycleAccounting.counts)))
         return std::nullopt;
 
     // Optional SMT block (multithreaded runs only; solo records keep
@@ -373,6 +407,18 @@ parseRunResultJson(std::string_view json)
               u64_field("smt_max_recovery_wait", r.smtMaxRecoveryWait)))
             return std::nullopt;
         r.smtThreads = static_cast<unsigned>(smt_threads);
+    }
+
+    // Optional sampling block (sampled runs only).
+    if (cur.peek(",\"sampling_period\"")) {
+        if (!(u64_field("sampling_period", r.samplingPeriod) &&
+              u64_field("sampling_warmup", r.samplingWarmup) &&
+              u64_field("sampling_measure", r.samplingMeasure) &&
+              u64_field("sampling_intervals", r.samplingIntervals) &&
+              u64_field("sampling_skipped_insts",
+                        r.samplingSkippedInsts) &&
+              dbl_field("sampling_ipc_ci95", r.samplingIpcCi95)))
+            return std::nullopt;
     }
 
     // Optional host-time tail.

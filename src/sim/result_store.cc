@@ -39,6 +39,19 @@ resultKeyFields(const std::string &workload_name,
     addU("fast_forward", options.fastForward);
     addU("opt_oracle_period", options.oracleSamplePeriod);
 
+    // Statistical-sampling shape. The period is keyed unconditionally
+    // so a sampled run (estimated IPC over measured windows) can never
+    // alias the full run of the same point. The interval geometry is
+    // keyed only when sampling is on — with period 0 the warm-up and
+    // measure knobs are inert, and the run must share the plain full
+    // run's key (the smt_mix pattern). The fastPath flag is
+    // bit-identical by contract and deliberately NOT keyed.
+    addU("sampling_period", options.samplingPeriod);
+    addU("sampling_warmup",
+         options.samplingPeriod ? options.samplingWarmup : 0);
+    addU("sampling_measure",
+         options.samplingPeriod ? options.samplingMeasure : 0);
+
     // SMT axis: thread count plus the partner-workload mix. Keyed
     // unconditionally so a solo job (smt_threads=1, empty mix) can
     // never alias an SMT job over the same workload. The mix is

@@ -66,6 +66,38 @@ struct SimOptions
      * Ignored unless CoreParams::smtThreads > 1.
      */
     std::vector<std::string> smtMix;
+
+    /**
+     * Exact idle-cycle skip in the solo cycle loop (Pipeline
+     * fast path). Results are bit-identical either way; off is for
+     * differential tests and honest speedup measurement.
+     */
+    bool fastPath = true;
+
+    /**
+     * SMARTS-style statistical sampling: instructions per sampling
+     * period (0 = full detailed simulation). Each period runs
+     * (period - warmup - measure) instructions functionally (caches,
+     * predictor, and architectural state stay warm), then
+     * samplingWarmup detailed instructions to refill the pipeline,
+     * then samplingMeasure measured instructions. The reported
+     * cycles/IPC/cycle buckets cover the measured windows only;
+     * samplingIpcCi95 carries the 95% confidence half-width over
+     * per-interval IPCs. Solo-pipeline only; requires lockstep=false
+     * and excludes the oracle and fastForward (validate()).
+     */
+    u64 samplingPeriod = 0;
+    /** Detailed warm-up instructions at the head of each episode. */
+    u64 samplingWarmup = 2000;
+    /** Measured detailed instructions following the warm-up. */
+    u64 samplingMeasure = 1000;
+
+    /**
+     * Fatal on incompatible option combinations (sampling with the
+     * oracle, lockstep, fast-forward, or a malformed interval shape).
+     * Every simulate entry point calls this first.
+     */
+    void validate() const;
 };
 
 /**
@@ -94,6 +126,23 @@ core::RunResult simulate(const workloads::Workload &workload,
 core::RunResult simulateSmt(const workloads::Workload &workload,
                             const core::CoreParams &params,
                             const SimOptions &options = {});
+
+/**
+ * Simulate @p workload with SMARTS-style statistical sampling
+ * (options.samplingPeriod > 0 required; see SimOptions). Returns a
+ * RunResult whose cycles, committedInsts, ipc, and cycleAccounting
+ * describe the measured windows only (the buckets still sum exactly
+ * to cycles); the sampling* fields record the interval shape, the
+ * interval count, the functionally skipped instructions, and the 95%
+ * confidence half-width on IPC. All other counters (bypass mix,
+ * register file accesses, branch statistics) cover every *detailed*
+ * instruction — warm-up and measured — plus the handful of
+ * architectural-value installs between episodes; they are reported
+ * for orientation, not as calibrated estimates.
+ */
+core::RunResult simulateSampled(const workloads::Workload &workload,
+                                const core::CoreParams &params,
+                                const SimOptions &options);
 
 /**
  * Simulate @p workload under every configuration in @p configs in

@@ -1,0 +1,157 @@
+#include "workloads/stall_kernels.hh"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/random.hh"
+#include "isa/assembler.hh"
+#include "workloads/kernel_util.hh"
+
+namespace carf::workloads
+{
+
+using namespace carf::isa;
+
+namespace
+{
+
+// Heap bases for the stall kernels, distinct from every int/fp kernel
+// region (int_kernels.cc tops out at 0xb0de'0000).
+constexpr Addr memChaseBase = 0xc2f1'0000;
+constexpr Addr streamBase = 0xd303'4000;
+constexpr Addr fetchScratchBase = 0xe415'8000;
+
+} // namespace
+
+isa::Program
+buildMemChase(unsigned nodes)
+{
+    // Same structure as buildPointerChase — 16-byte nodes linked in
+    // one random cycle — but the default working set is 4 MiB against
+    // a 1 MiB L2, so (after the first lap warms nothing useful) every
+    // next-pointer load is an off-chip miss the chase serializes on.
+    Rng rng(0x57a11);
+    std::vector<u32> order(nodes);
+    for (u32 i = 0; i < nodes; ++i)
+        order[i] = i;
+    for (u32 i = nodes - 1; i > 0; --i) {
+        u32 j = static_cast<u32>(rng.nextBounded(i + 1));
+        std::swap(order[i], order[j]);
+    }
+
+    std::vector<u64> heap(u64{nodes} * 2, 0);
+    for (u32 i = 0; i < nodes; ++i) {
+        u32 cur = order[i];
+        u32 next = order[(i + 1) % nodes];
+        heap[u64{cur} * 2] = memChaseBase + u64{next} * 16;
+        heap[u64{cur} * 2 + 1] = rng.next() >> 48;
+    }
+
+    Assembler a;
+    environmentPrologue(a, 0x57a11 + 1);
+    a.dataU64(memChaseBase, heap);
+    a.movi(R1, static_cast<i64>(memChaseBase + u64{order[0]} * 16));
+    a.movi(R2, 0);
+    a.label("loop");
+    // The next-pointer load comes FIRST: it is the older access, so
+    // it takes the full miss and the payload load (same line) rides
+    // behind it. The other way round the payload's miss would warm
+    // the line and the serial chain would advance on dl1 hits.
+    a.ld(R4, R1, 0);
+    a.ld(R3, R1, 8);
+    a.add(R2, R2, R3);
+    a.mov(R1, R4);
+    a.bne(R1, R0, "loop"); // always taken: the list is a cycle
+    a.jmp("loop");
+    return a.finish();
+}
+
+isa::Program
+buildStreamWall(unsigned words)
+{
+    // One load per 64-byte line over a 4 MiB array: the misses are
+    // independent (unlike mem_chase), so they overlap until the ROB
+    // fills behind the oldest outstanding fill. The reduction keeps a
+    // real consumer on every load without serializing the addresses.
+    Assembler a;
+    environmentPrologue(a, 0x57a11 + 2);
+    Rng rng(0x57ea3);
+    std::vector<u64> data(words);
+    for (auto &w : data)
+        w = rng.next() >> 32;
+    a.dataU64(streamBase, data);
+
+    a.movi(R1, static_cast<i64>(streamBase));
+    a.movi(R13, static_cast<i64>(streamBase + u64{words} * 8));
+    a.movi(R2, 0); // running sum
+    a.label("restart");
+    a.mov(R4, R1);
+    a.label("loop");
+    a.ld(R3, R4, 0);
+    a.add(R2, R2, R3);
+    a.addi(R4, R4, 64); // next cache line
+    a.blt(R4, R13, "loop");
+    a.jmp("restart");
+    return a.finish();
+}
+
+isa::Program
+buildFetchWall(unsigned block_insts)
+{
+    // A straight-line ALU block of block_insts instructions (48 KiB
+    // at the default, against a 32 KiB il1), looped forever: every
+    // line of the block is evicted before the loop returns to it, so
+    // fetch takes an L2-latency hit on each 16-instruction line while
+    // the back end drains. Sparse loads/stores on a small scratch
+    // buffer and periodic taken branches keep the memory and
+    // predictor paths honest without adding data-side misses.
+    Assembler a;
+    environmentPrologue(a, 0x57a11 + 3);
+    a.dataU64(fetchScratchBase, std::vector<u64>(64, 0));
+
+    a.movi(R1, static_cast<i64>(fetchScratchBase));
+    a.movi(R2, 1);
+    a.movi(R3, 0x2545f49);
+    a.movi(R4, 0);
+    a.label("top");
+    Rng rng(0x57a11 + 4);
+    unsigned emitted = 0;
+    unsigned chunk = 0;
+    while (emitted < block_insts) {
+        // ~1 KiB straight-line stretches separated by a taken branch
+        // and one scratch access.
+        unsigned stretch =
+            std::min(block_insts - emitted, 250u + chunk % 7);
+        for (unsigned i = 0; i < stretch; ++i) {
+            u8 rd = static_cast<u8>(5 + rng.nextBounded(8)); // R5-R12
+            u8 rs = static_cast<u8>(5 + rng.nextBounded(8));
+            switch (rng.nextBounded(4)) {
+            case 0:
+                a.add(rd, rs, R2);
+                break;
+            case 1:
+                a.xor_(rd, rs, R3);
+                break;
+            case 2:
+                a.addi(rd, rs, static_cast<i64>(rng.nextBounded(64)));
+                break;
+            default:
+                a.srli(rd, rs, 1 + static_cast<i64>(rng.nextBounded(7)));
+                break;
+            }
+        }
+        emitted += stretch;
+        std::string next = "chunk" + std::to_string(chunk++);
+        a.st(R4, R1, static_cast<i64>((chunk % 64) * 8));
+        a.ld(R4, R1, static_cast<i64>(((chunk + 17) % 64) * 8));
+        a.addi(R4, R4, 1);
+        a.bne(R2, R0, next); // always taken
+        a.label(next);
+        emitted += 4;
+    }
+    a.jmp("top");
+    return a.finish();
+}
+
+} // namespace carf::workloads

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Stall-heavy kernel programs (the Suite::Stall workloads).
+ *
+ * These kernels are deliberately latency-bound rather than
+ * value-behaviour representative: their working sets overflow the L2
+ * (mem_chase, stream_wall) or the L1 instruction cache (fetch_wall),
+ * so most cycles are spent waiting on a fill with an empty issue
+ * window. They exist to exercise and benchmark the pipeline's exact
+ * idle-cycle skip (DESIGN.md §4.8) and are kept out of intSuite() so
+ * the paper-claims suite averages stay untouched.
+ */
+
+#ifndef CARF_WORKLOADS_STALL_KERNELS_HH
+#define CARF_WORKLOADS_STALL_KERNELS_HH
+
+#include "isa/instruction.hh"
+
+namespace carf::workloads
+{
+
+/** Serial random-cycle pointer chase over a working set ~4x the L2:
+ *  every hop is a dependent off-chip miss, so the window drains for
+ *  ~memoryLatency cycles per node. */
+isa::Program buildMemChase(unsigned nodes = 1 << 18);
+
+/** Line-stride streaming reduction over an L2-overflowing array:
+ *  independent misses overlap up to the MLP the LSQ and dl1 ports
+ *  allow, then the ROB fills behind the oldest fill. */
+isa::Program buildStreamWall(unsigned words = 1 << 19);
+
+/** Straight-line ALU block larger than the L1 instruction cache,
+ *  looped: every code line is a capacity miss, so the front end
+ *  stalls on the L2 once per 16 instructions. */
+isa::Program buildFetchWall(unsigned block_insts = 12 * 1024);
+
+} // namespace carf::workloads
+
+#endif // CARF_WORKLOADS_STALL_KERNELS_HH

@@ -3,10 +3,25 @@
 #include "common/logging.hh"
 #include "workloads/fp_kernels.hh"
 #include "workloads/int_kernels.hh"
+#include "workloads/stall_kernels.hh"
 #include "workloads/synthetic.hh"
 
 namespace carf::workloads
 {
+
+const char *
+suiteName(Suite suite)
+{
+    switch (suite) {
+    case Suite::Int:
+        return "int";
+    case Suite::Fp:
+        return "fp";
+    case Suite::Stall:
+        return "stall";
+    }
+    return "?";
+}
 
 std::unique_ptr<emu::TraceSource>
 makeTrace(const Workload &workload, u64 max_insts)
@@ -53,12 +68,25 @@ fpSuite()
 }
 
 const std::vector<Workload> &
+stallSuite()
+{
+    static const std::vector<Workload> suite = {
+        {"mem_chase", Suite::Stall, [] { return buildMemChase(); }},
+        {"stream_wall", Suite::Stall, [] { return buildStreamWall(); }},
+        {"fetch_wall", Suite::Stall, [] { return buildFetchWall(); }},
+    };
+    return suite;
+}
+
+const std::vector<Workload> &
 allWorkloads()
 {
     static const std::vector<Workload> all = [] {
         std::vector<Workload> v = intSuite();
         const auto &fp = fpSuite();
+        const auto &stall = stallSuite();
         v.insert(v.end(), fp.begin(), fp.end());
+        v.insert(v.end(), stall.begin(), stall.end());
         return v;
     }();
     return all;

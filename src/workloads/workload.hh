@@ -24,12 +24,18 @@
 namespace carf::workloads
 {
 
-/** Which averaged suite (paper: SPECint vs SPECfp) a kernel joins. */
+/** Which averaged suite (paper: SPECint vs SPECfp) a kernel joins.
+ *  Stall collects the latency-bound kernels used to exercise the
+ *  idle-cycle skip; it never enters the paper-claims averages. */
 enum class Suite
 {
     Int,
     Fp,
+    Stall,
 };
+
+/** Lower-case display name for @p suite ("int", "fp", "stall"). */
+const char *suiteName(Suite suite);
 
 /** A named kernel with a program factory. */
 struct Workload
@@ -50,7 +56,10 @@ std::unique_ptr<emu::TraceSource> makeTrace(const Workload &workload,
 const std::vector<Workload> &intSuite();
 /** The floating-point suite (the paper's SPECfp2000 stand-in). */
 const std::vector<Workload> &fpSuite();
-/** Both suites concatenated. */
+/** The stall-heavy suite (fast-path benchmarking; see
+ *  stall_kernels.hh). */
+const std::vector<Workload> &stallSuite();
+/** Every registered workload (int, fp, and stall suites). */
 const std::vector<Workload> &allWorkloads();
 
 /** Lookup by name; fatal() when unknown. */

@@ -20,12 +20,17 @@ TEST(WorkloadRegistry, SuitesArePopulated)
 {
     EXPECT_GE(intSuite().size(), 12u);
     EXPECT_GE(fpSuite().size(), 8u);
-    EXPECT_EQ(allWorkloads().size(),
-              intSuite().size() + fpSuite().size());
+    EXPECT_GE(stallSuite().size(), 3u);
+    EXPECT_EQ(allWorkloads().size(), intSuite().size() +
+                                         fpSuite().size() +
+                                         stallSuite().size());
     for (const auto &w : intSuite())
         EXPECT_EQ(static_cast<int>(w.suite), static_cast<int>(Suite::Int));
     for (const auto &w : fpSuite())
         EXPECT_EQ(static_cast<int>(w.suite), static_cast<int>(Suite::Fp));
+    for (const auto &w : stallSuite())
+        EXPECT_EQ(static_cast<int>(w.suite),
+                  static_cast<int>(Suite::Stall));
 }
 
 TEST(WorkloadRegistry, NamesAreUnique)

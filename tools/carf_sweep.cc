@@ -120,11 +120,13 @@ resolveWorkloads(const std::string &token)
         return workloads::intSuite();
     if (token == "suite:fp")
         return workloads::fpSuite();
+    if (token == "suite:stall")
+        return workloads::stallSuite();
     if (token == "suite:all")
         return workloads::allWorkloads();
     if (token.rfind("suite:", 0) == 0)
         fatal("carf_sweep: unknown suite '%s' (suite:int, suite:fp, "
-              "suite:all)",
+              "suite:stall, suite:all)",
               token.c_str());
     return {workloads::findWorkload(token)};
 }
